@@ -1,0 +1,132 @@
+// Shared plumbing for the figure benches: standard band scenarios matching
+// the paper's testbed layout, and result formatting.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/scenario.hpp"
+#include "net/topology.hpp"
+#include "phy/channel_plan.hpp"
+#include "stats/table.hpp"
+
+namespace nomc::bench {
+
+/// The paper's evaluation band starts here (§VI: "from 2458MHz").
+inline constexpr phy::Mhz kBandStart{2458.0};
+
+struct BandRunParams {
+  net::RandomCaseConfig topology = net::RandomCaseConfig{}.with_fixed_power(phy::Dbm{0.0});
+  sim::SimTime warmup = sim::SimTime::seconds(2.0);
+  sim::SimTime measure = sim::SimTime::seconds(8.0);
+  std::uint64_t seed = 1;
+  /// Independent testbed layouts averaged per data point (the paper reports
+  /// time-averaged testbed runs; seeds play the role of re-deployments).
+  int trials = 3;
+  phy::Dbm fixed_cca = mac::kZigbeeDefaultCcaThreshold;
+};
+
+struct BandResult {
+  std::vector<double> per_network_pps;  ///< mean across trials
+  double overall_pps = 0.0;
+};
+
+/// Run `specs` wholesale under one scheme and collect throughput.
+inline BandResult run_specs(std::span<const net::NetworkSpec> specs, net::Scheme scheme,
+                            const BandRunParams& params, std::uint64_t seed) {
+  net::ScenarioConfig config;
+  config.seed = seed;
+  config.fixed_cca_threshold = params.fixed_cca;
+  net::Scenario scenario{config};
+  scenario.add_networks(specs, scheme);
+  scenario.run(params.warmup, params.measure);
+
+  BandResult result;
+  result.per_network_pps = scenario.network_throughputs();
+  result.overall_pps = scenario.overall_throughput();
+  return result;
+}
+
+/// The standard evaluation deployment: all networks in one dense interfering
+/// region (the testbed's lab bench; also the paper's Case I), one network
+/// per channel, averaged over `params.trials` random layouts.
+inline BandResult run_band(std::span<const phy::Mhz> channels, net::Scheme scheme,
+                           const BandRunParams& params = {}) {
+  BandResult mean;
+  mean.per_network_pps.assign(channels.size(), 0.0);
+  for (int trial = 0; trial < params.trials; ++trial) {
+    const std::uint64_t seed = params.seed + static_cast<std::uint64_t>(trial) * 1000003;
+    sim::RandomStream placement{seed, /*index=*/999};
+    const auto specs = net::case1_dense(channels, placement, params.topology);
+    const BandResult one = run_specs(specs, scheme, params, seed);
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      mean.per_network_pps[i] += one.per_network_pps[i];
+    }
+    mean.overall_pps += one.overall_pps;
+  }
+  for (double& v : mean.per_network_pps) v /= params.trials;
+  mean.overall_pps /= params.trials;
+  return mean;
+}
+
+/// Dense-region deployment with a per-network scheme choice (e.g. DCN only
+/// on N0 — paper Figs. 14-15). `scheme_of(i)` picks the scheme of network i.
+template <typename SchemeOf>
+inline BandResult run_band_mixed(std::span<const phy::Mhz> channels, SchemeOf&& scheme_of,
+                                 const BandRunParams& params = {}) {
+  BandResult mean;
+  mean.per_network_pps.assign(channels.size(), 0.0);
+  for (int trial = 0; trial < params.trials; ++trial) {
+    const std::uint64_t seed = params.seed + static_cast<std::uint64_t>(trial) * 1000003;
+    sim::RandomStream placement{seed, /*index=*/999};
+    const auto specs = net::case1_dense(channels, placement, params.topology);
+
+    net::ScenarioConfig config;
+    config.seed = seed;
+    config.fixed_cca_threshold = params.fixed_cca;
+    net::Scenario scenario{config};
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const int n = scenario.add_network(specs[i].channel, scheme_of(static_cast<int>(i)));
+      for (const net::LinkSpec& link : specs[i].links) scenario.add_link(n, link);
+    }
+    scenario.run(params.warmup, params.measure);
+
+    const auto pps = scenario.network_throughputs();
+    for (std::size_t i = 0; i < channels.size(); ++i) mean.per_network_pps[i] += pps[i];
+    mean.overall_pps += scenario.overall_throughput();
+  }
+  for (double& v : mean.per_network_pps) v /= params.trials;
+  mean.overall_pps /= params.trials;
+  return mean;
+}
+
+/// CFD → channel list used by the motivation experiment (paper Fig. 1).
+/// The paper packs a 12 MHz band and reports these channel counts
+/// explicitly (§III-A: 1 channel at 9 MHz, 2 at 5 MHz, and Fig. 1's bars).
+inline std::vector<phy::Mhz> motivation_channels(double cfd_mhz) {
+  int count = 0;
+  if (cfd_mhz >= 9.0) {
+    count = 1;
+  } else if (cfd_mhz >= 5.0) {
+    count = 2;
+  } else if (cfd_mhz >= 4.0) {
+    count = 3;
+  } else if (cfd_mhz >= 3.0) {
+    count = 4;
+  } else {
+    count = 6;
+  }
+  return phy::evenly_spaced(kBandStart, phy::Mhz{cfd_mhz}, count);
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("== %s ==\n%s\n\n", figure, description);
+}
+
+inline std::string pps(double value) { return stats::TablePrinter::num(value, 1); }
+inline std::string pct(double ratio) { return stats::TablePrinter::num(100.0 * ratio, 1) + "%"; }
+
+}  // namespace nomc::bench

@@ -1,0 +1,85 @@
+// EXTENSION — the related-work comparison the paper argues against:
+// TMCP-style orthogonal tree partitioning (Wu et al., InfoCom'08) vs the
+// non-orthogonal DCN design, on a convergecast data-collection workload.
+//
+// Same ~30 sensors around one multi-radio sink, saturating demand:
+//   * TMCP-style: 4 trees on 5 MHz-spaced channels, fixed -77 dBm CCA —
+//     "find fully orthogonal channels first, then partition";
+//   * non-orth. : 6 trees on 3 MHz-spaced channels, fixed CCA (no DCN);
+//   * DCN       : 6 trees on 3 MHz-spaced channels, CCA-Adjustors.
+// More trees = fewer sensors contending per channel AND less multi-hop
+// forwarding per tree, so collection goodput rises — if the inter-channel
+// interference is handled, which is DCN's job.
+#include <cstdio>
+
+#include "collect/collection.hpp"
+#include "common.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace nomc;
+
+struct DesignResult {
+  stats::SummaryStats goodput;
+  int max_depth = 0;
+};
+
+DesignResult run_design(int channel_count, double cfd, net::Scheme scheme, int total_sensors,
+                        int trials) {
+  DesignResult result;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = 31 + static_cast<std::uint64_t>(trial) * 1000003;
+    collect::CollectionConfig config;
+    config.scheme = scheme;
+    config.nodes_per_tree = total_sensors / channel_count;
+    config.report_period = sim::SimTime::milliseconds(25);  // saturating demand
+    const auto channels =
+        phy::evenly_spaced(bench::kBandStart, phy::Mhz{cfd}, channel_count);
+    collect::CollectionScenario scenario{channels, config, seed};
+    result.goodput.add(
+        scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(8.0)));
+    for (const auto& tree : scenario.trees()) {
+      result.max_depth = std::max(result.max_depth, tree->max_depth());
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension: data collection (TMCP comparison)",
+                      "Convergecast goodput at the sink, 24 sensors, 15 MHz band, "
+                      "40 readings/s offered per sensor");
+
+  const int sensors = 24;
+  const int trials = 5;
+  const DesignResult tmcp =
+      run_design(4, 5.0, net::Scheme::kFixedCca, sensors, trials);
+  const DesignResult packed =
+      run_design(6, 3.0, net::Scheme::kFixedCca, sensors, trials);
+  const DesignResult dcn = run_design(6, 3.0, net::Scheme::kDcn, sensors, trials);
+
+  stats::TablePrinter table{{"design", "trees", "sink goodput (pkt/s)", "±95% CI",
+                             "max depth"}};
+  table.add_row({"TMCP-style (4ch @ 5MHz, fixed)", "4",
+                 stats::TablePrinter::num(tmcp.goodput.mean(), 1),
+                 stats::TablePrinter::num(tmcp.goodput.ci95_half_width(), 1),
+                 std::to_string(tmcp.max_depth)});
+  table.add_row({"non-orth. (6ch @ 3MHz, fixed)", "6",
+                 stats::TablePrinter::num(packed.goodput.mean(), 1),
+                 stats::TablePrinter::num(packed.goodput.ci95_half_width(), 1),
+                 std::to_string(packed.max_depth)});
+  table.add_row({"non-orth. + DCN (6ch @ 3MHz)", "6",
+                 stats::TablePrinter::num(dcn.goodput.mean(), 1),
+                 stats::TablePrinter::num(dcn.goodput.ci95_half_width(), 1),
+                 std::to_string(dcn.max_depth)});
+  table.print();
+  std::printf("\nDCN vs TMCP-style: %+.1f%%   DCN vs plain non-orthogonal: %+.1f%%\n",
+              100.0 * (dcn.goodput.mean() / tmcp.goodput.mean() - 1.0),
+              100.0 * (dcn.goodput.mean() / packed.goodput.mean() - 1.0));
+  std::printf("More trees shrink both per-channel contention and forwarding depth;\n"
+              "DCN supplies the CCA behaviour that makes the extra trees usable.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// EXTENSION — §VII-A's "online dynamic recovery scheme", implemented as a
+// running protocol (src/ppr) rather than the paper's offline recoverability
+// analysis (Figs. 28-29, bench fig28_29_recovery).
+//
+// Same severe-asymmetry scenario as Fig. 28: a -22 dBm victim link against
+// 0 dBm interferers leaking from ±3 MHz right next to the receiver, CCA
+// fully relaxed. Three link configurations are compared:
+//   * no recovery (the paper's measured baseline),
+//   * PPR always on,
+//   * PPR behind the adaptive arm/disarm gate (plus a clean link showing
+//     the gate keeps overhead at zero when nothing needs repairing).
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "common.hpp"
+#include "ppr/ppr.hpp"
+
+namespace {
+
+using namespace nomc;
+
+struct PprRun {
+  double sent_pps = 0.0;
+  double delivered_pps = 0.0;   ///< intact + recovered
+  double raw_prr = 0.0;
+  double effective_prr = 0.0;
+  double repair_overhead = 0.0;  ///< repair bytes / data bytes sent
+  bool armed = false;
+};
+
+enum class Mode { kNone, kAlways, kAdaptive };
+
+PprRun run(Mode mode, bool jammed, std::uint64_t seed) {
+  net::ScenarioConfig config;
+  config.seed = seed;
+  net::Scenario scenario{config};
+
+  const phy::Mhz channel{2464.0};
+  const int victim = scenario.add_network(channel, net::Scheme::kFixedCca);
+  net::LinkSpec link;
+  link.sender_pos = {0.0, 0.0};
+  link.receiver_pos = {0.0, 2.0};
+  link.tx_power = phy::Dbm{-22.0};
+  scenario.add_link(victim, link);
+  scenario.fixed_cca(victim, 0).set(phy::Dbm{-55.0});  // relaxed past inter-channel leakage, still defers to co-channel (NACKs)
+
+  if (jammed) {
+    const struct {
+      double dx, dy, df;
+    } interferers[] = {{1.4, 2.0, +3.0}, {-1.4, 2.0, -3.0}};
+    for (const auto& it : interferers) {
+      const int n = scenario.add_network(channel + phy::Mhz{it.df}, net::Scheme::kFixedCca);
+      for (int l = 0; l < 2; ++l) {
+        net::LinkSpec i_link;
+        i_link.sender_pos = {it.dx + 0.4 * l, it.dy};
+        i_link.receiver_pos = {it.dx + 0.4 * l, it.dy + 2.0};
+        i_link.tx_power = phy::Dbm{0.0};
+        scenario.add_link(n, i_link);
+      }
+    }
+  }
+
+  ppr::PprConfig ppr_config;
+  ppr_config.adaptive = mode == Mode::kAdaptive;
+  std::optional<ppr::PprSender> sender;
+  std::optional<ppr::PprReceiver> receiver;
+  std::uint64_t recovered_in_window = 0;
+  const sim::SimTime warmup = sim::SimTime::seconds(1.0);
+  if (mode != Mode::kNone) {
+    sender.emplace(scenario.sender_mac(victim, 0), ppr_config);
+    receiver.emplace(scenario.receiver_mac(victim, 0), ppr_config,
+                     [&recovered_in_window, &scenario, warmup](const phy::RxResult&) {
+                       if (scenario.scheduler().now() >= warmup) ++recovered_in_window;
+                     });
+  }
+
+  const double measure_s = 10.0;
+  scenario.run(warmup, sim::SimTime::seconds(measure_s));
+
+  const auto result = scenario.network_result(victim);
+  PprRun out;
+  out.sent_pps = static_cast<double>(result.links[0].sender.sent) / measure_s;
+  out.delivered_pps =
+      result.links[0].throughput_pps + static_cast<double>(recovered_in_window) / measure_s;
+  out.raw_prr = result.links[0].prr;
+  out.effective_prr = out.sent_pps > 0.0 ? out.delivered_pps / out.sent_pps : 1.0;
+  if (sender.has_value()) {
+    const double data_bytes = static_cast<double>(result.links[0].sender.sent) * 100.0;
+    out.repair_overhead =
+        data_bytes > 0.0
+            ? static_cast<double>(sender->stats().repair_bytes_sent) / data_bytes
+            : 0.0;
+  }
+  out.armed = receiver.has_value() ? receiver->armed() : false;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension: online PPR (§VII-A)",
+                      "Running block-repair protocol on the Fig. 28 scenario "
+                      "(-22 dBm link vs 0 dBm inter-channel interferers, relaxed CCA)");
+
+  stats::TablePrinter table{{"link / recovery", "sent (pkt/s)", "delivered (pkt/s)",
+                             "raw PRR", "effective PRR", "repair overhead"}};
+  struct Row {
+    const char* name;
+    Mode mode;
+    bool jammed;
+  };
+  const Row rows[] = {
+      {"jammed / none", Mode::kNone, true},
+      {"jammed / PPR", Mode::kAlways, true},
+      {"jammed / adaptive PPR", Mode::kAdaptive, true},
+      {"clean / adaptive PPR", Mode::kAdaptive, false},
+  };
+  for (const Row& row : rows) {
+    const PprRun result = run(row.mode, row.jammed, 42);
+    table.add_row({row.name, bench::pps(result.sent_pps), bench::pps(result.delivered_pps),
+                   bench::pct(result.raw_prr), bench::pct(result.effective_prr),
+                   bench::pct(result.repair_overhead)});
+  }
+  table.print();
+  std::printf("\nPaper Fig. 28: recovery lifts the 'Recoverable' curve to ~sent, PRR -> ~100%%.\n"
+              "The adaptive gate (paper's future direction) matches always-on recovery under\n"
+              "loss and spends nothing on clean links.\n");
+  return 0;
+}

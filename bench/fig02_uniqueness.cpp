@@ -1,0 +1,33 @@
+// Paper Fig. 2: why non-orthogonal concurrency is feasible in 802.15.4 but
+// not in 802.11b. Two links; the interferer moves away one channel number
+// (5 MHz) at a time; the victim's throughput is plotted normalized to its
+// isolated value.
+//
+// Expected shape (paper, after Mishra et al.): 802.11b stays degraded for
+// several channel numbers — receivers lock onto overlapped-channel packets
+// and senders defer to their wide spectral mask; 802.15.4 recovers
+// essentially full throughput from 1 channel number (5 MHz) on.
+#include <cstdio>
+
+#include "common.hpp"
+#include "wifi/contrast.hpp"
+
+int main() {
+  using namespace nomc;
+  bench::print_header("Fig. 2", "Normalized victim-link throughput vs channel separation: "
+                                "802.11b vs 802.15.4");
+
+  const wifi::ContrastResult b11 = wifi::run_contrast(wifi::Standard::k80211b);
+  const wifi::ContrastResult b154 = wifi::run_contrast(wifi::Standard::k802154);
+
+  stats::TablePrinter table{{"separation (channels)", "802.11b", "802.15.4"}};
+  for (std::size_t i = 0; i < b11.points.size() && i < b154.points.size(); ++i) {
+    table.add_row({std::to_string(b11.points[i].separation),
+                   stats::TablePrinter::num(b11.points[i].normalized, 2),
+                   stats::TablePrinter::num(b154.points[i].normalized, 2)});
+  }
+  table.print();
+  std::printf("\nPaper: 802.11b needs ~5 channel numbers (25 MHz) to clear; "
+              "802.15.4 is clean from separation 1 (5 MHz).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Paper Figs. 6-7: sweeping the victim link's CCA threshold in the Fig. 5
+// configuration (4 neighbouring-channel interferer networks, NO co-channel
+// competition).
+//
+// Expected shape: with a conservative threshold the sender backs off on
+// tolerable inter-channel energy and throughput is depressed; relaxing the
+// threshold raises sent AND received in lockstep (PRR stays ~100 % — the
+// interference is inter-channel, hence tolerable), and the OVERALL
+// throughput across all five networks grows too (Fig. 7): the concurrency
+// is genuinely additive, not stolen from the neighbours.
+#include <cstdio>
+
+#include "common.hpp"
+#include "fig5_config.hpp"
+
+int main() {
+  using namespace nomc;
+  bench::print_header("Figs. 6-7",
+                      "Victim link + overall throughput vs CCA threshold "
+                      "(no co-channel interference; interferers at CFD=±3, ±6 MHz)");
+
+  stats::TablePrinter table{{"CCA thr (dBm)", "sent (pkt/s)", "received (pkt/s)", "PRR",
+                             "overall (pkt/s)"}};
+  for (int thr = -95; thr <= -20; thr += 5) {
+    net::Scenario scenario;
+    const bench::Fig5Setup setup = bench::build_fig5(scenario, phy::Dbm{0.0});
+    scenario.fixed_cca(setup.victim_network, 0).set(phy::Dbm{static_cast<double>(thr)});
+    scenario.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(8.0));
+
+    const auto victim = scenario.network_result(setup.victim_network);
+    const double sent = static_cast<double>(victim.links[0].sender.sent) / 8.0;
+    const double received = victim.links[0].throughput_pps;
+    table.add_row({std::to_string(thr), bench::pps(sent), bench::pps(received),
+                   bench::pct(victim.links[0].prr), bench::pps(scenario.overall_throughput())});
+  }
+  table.print();
+  std::printf("\nPaper: default -77 dBm is conservative; relaxing raises link "
+              "throughput with PRR ~100%%, and overall throughput grows too.\n");
+  return 0;
+}

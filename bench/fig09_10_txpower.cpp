@@ -1,0 +1,49 @@
+// Paper Figs. 9-10: effect of the victim link's transmission power on the
+// CCA-relaxation gain (Fig. 5 configuration, interferers fixed at 0 dBm).
+//
+// Expected shape: relaxing the threshold improves throughput at every power
+// level (Fig. 9); the PRR (Fig. 10) stays ~100 % for powers >= -15 dBm,
+// is above ~80 % even at -22 dBm against 0 dBm interferers, and degrades
+// for the extreme -33 dBm case — the receiver's capture capability bounds
+// how asymmetric the concurrency can get.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "fig5_config.hpp"
+
+int main() {
+  using namespace nomc;
+  bench::print_header("Figs. 9-10", "Victim link throughput and PRR vs CCA threshold "
+                                    "at different victim TX powers (interferers 0 dBm)");
+
+  const std::vector<double> powers = {-8.0, -11.0, -15.0, -22.0, -33.0};
+  std::vector<std::string> headers = {"CCA thr (dBm)"};
+  for (double p : powers) headers.push_back(stats::TablePrinter::num(p, 0) + " dBm");
+
+  stats::TablePrinter throughput{headers};
+  stats::TablePrinter prr{headers};
+  for (int thr = -95; thr <= -20; thr += 10) {
+    std::vector<std::string> trow = {std::to_string(thr)};
+    std::vector<std::string> prow = {std::to_string(thr)};
+    for (const double power : powers) {
+      net::Scenario scenario;
+      const bench::Fig5Setup setup = bench::build_fig5(scenario, phy::Dbm{power});
+      scenario.fixed_cca(setup.victim_network, 0).set(phy::Dbm{static_cast<double>(thr)});
+      scenario.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(6.0));
+      const auto victim = scenario.network_result(setup.victim_network);
+      trow.push_back(bench::pps(victim.links[0].throughput_pps));
+      prow.push_back(bench::pct(victim.links[0].prr));
+    }
+    throughput.add_row(trow);
+    prr.add_row(prow);
+  }
+  std::printf("Fig. 9 — victim throughput (pkt/s):\n");
+  throughput.print();
+  std::printf("\nFig. 10 — victim PRR:\n");
+  prr.print();
+  std::printf("\nPaper: PRR 100%% for powers >= -15 dBm, >80%% at -22 dBm, "
+              "degraded at -33 dBm; relaxing always helps throughput.\n");
+  return 0;
+}

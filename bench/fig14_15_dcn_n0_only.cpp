@@ -1,0 +1,96 @@
+// Paper Figs. 14-15: apply DCN only on network N0 (the median-frequency
+// network of five) and compare against the all-fixed baseline, for
+// CFD = 2 and 3 MHz.
+//
+// Expected shape: N0's throughput improves substantially (paper: ~27 %) —
+// it stops deferring to its neighbours' inter-channel energy; the OTHER
+// four networks (still on the fixed threshold) lose a little (paper: ~5 %)
+// because N0's increased airtime is extra energy in their CCA reads.
+//
+// Secondary table: ablation of DCN's updating window T_U on the same
+// scenario (DESIGN.md §8).
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace nomc;
+
+struct Fig14Row {
+  double n0_without, n0_with;
+  double others_without, others_with;
+};
+
+Fig14Row run_cfd(double cfd_mhz, const bench::BandRunParams& params) {
+  const auto channels = phy::evenly_spaced(bench::kBandStart, phy::Mhz{cfd_mhz}, 5);
+  const int median = 2;  // N0 = the median-frequency network (Fig. 13)
+
+  const bench::BandResult without =
+      bench::run_band(channels, net::Scheme::kFixedCca, params);
+  const bench::BandResult with = bench::run_band_mixed(
+      channels,
+      [median](int i) { return i == median ? net::Scheme::kDcn : net::Scheme::kFixedCca; },
+      params);
+
+  Fig14Row row{};
+  row.n0_without = without.per_network_pps[median];
+  row.n0_with = with.per_network_pps[median];
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (static_cast<int>(i) == median) continue;
+    row.others_without += without.per_network_pps[i];
+    row.others_with += with.per_network_pps[i];
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figs. 14-15", "DCN applied only on the median network N0 "
+                                     "(5 networks, CFD = 2 and 3 MHz)");
+
+  stats::TablePrinter table{{"CFD (MHz)", "N0 w/o (pkt/s)", "N0 with (pkt/s)", "N0 gain",
+                             "others w/o", "others with", "others change"}};
+  bench::BandRunParams params;
+  for (const double cfd : {2.0, 3.0}) {
+    const Fig14Row row = run_cfd(cfd, params);
+    table.add_row({stats::TablePrinter::num(cfd, 0), bench::pps(row.n0_without),
+                   bench::pps(row.n0_with),
+                   bench::pct(row.n0_with / row.n0_without - 1.0),
+                   bench::pps(row.others_without), bench::pps(row.others_with),
+                   bench::pct(row.others_with / row.others_without - 1.0)});
+  }
+  table.print();
+  std::printf("\nPaper: N0 gains ~27%% at both CFDs; other networks lose ~5%%.\n");
+
+  // Ablation: the updating window T_U (CFD = 3 MHz scenario).
+  std::printf("\nAblation — updating window T_U (CFD=3 MHz, DCN on N0):\n");
+  stats::TablePrinter ablation{{"T_U (s)", "N0 with DCN (pkt/s)"}};
+  for (const double tu : {1.0, 3.0, 6.0, 12.0}) {
+    bench::BandRunParams p;
+    p.topology = params.topology;
+    const auto channels = phy::evenly_spaced(bench::kBandStart, phy::Mhz{3.0}, 5);
+    // Re-run with a customized DCN config.
+    double n0 = 0.0;
+    for (int trial = 0; trial < p.trials; ++trial) {
+      const std::uint64_t seed = p.seed + static_cast<std::uint64_t>(trial) * 1000003;
+      sim::RandomStream placement{seed, 999};
+      const auto specs = net::case1_dense(channels, placement, p.topology);
+      net::ScenarioConfig config;
+      config.seed = seed;
+      config.dcn.t_update = sim::SimTime::seconds(tu);
+      net::Scenario scenario{config};
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        const int n = scenario.add_network(
+            specs[i].channel, i == 2 ? net::Scheme::kDcn : net::Scheme::kFixedCca);
+        for (const net::LinkSpec& link : specs[i].links) scenario.add_link(n, link);
+      }
+      scenario.run(p.warmup, p.measure);
+      n0 += scenario.network_result(2).throughput_pps;
+    }
+    ablation.add_row({stats::TablePrinter::num(tu, 0), bench::pps(n0 / p.trials)});
+  }
+  ablation.print();
+  return 0;
+}

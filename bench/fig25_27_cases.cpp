@@ -1,0 +1,102 @@
+// Paper Figs. 22-27: the three general network configurations, each with
+// per-node TX power drawn uniformly from [-22, 0] dBm:
+//   Case I   (Fig. 22/25): all networks in one dense interfering region.
+//   Case II  (Fig. 23/26): each network clustered in its own room.
+//   Case III (Fig. 24/27): all nodes scattered randomly over a large field.
+//
+// Three designs are compared on each topology with the same node count:
+//   ZigBee    — 4 channels at CFD=5 MHz, fixed -77 dBm CCA, 3 links/network;
+//   w/o DCN   — 6 channels at CFD=3 MHz, fixed CCA, 2 links/network;
+//   with DCN  — 6 channels at CFD=3 MHz, DCN everywhere.
+//
+// Paper's numbers (overall pkt/s): Case I 983/1326/1521 (DCN +14.7 % over
+// w/o, +55.7 % over ZigBee); Case II 980/1382/1526 (+10.4 %); Case III
+// 983/1282/1361 (+6.2 %, +38.4 % over ZigBee) — the weak-co-channel-RSSI
+// limitation of DCN shows in Case III.
+#include <cstdio>
+#include <functional>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace nomc;
+using TopologyFn = std::function<std::vector<net::NetworkSpec>(
+    std::span<const phy::Mhz>, sim::RandomStream&, const net::RandomCaseConfig&)>;
+
+double run_design(const TopologyFn& topology, const net::RandomCaseConfig& base_topo,
+                  std::span<const phy::Mhz> channels, int links_per_network, net::Scheme scheme,
+                  int trials, std::uint64_t seed0) {
+  double overall = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(trial) * 1000003;
+    net::RandomCaseConfig topo = base_topo;
+    topo.links_per_network = links_per_network;
+    sim::RandomStream placement{seed, 999};
+    const auto specs = topology(channels, placement, topo);
+
+    net::ScenarioConfig config;
+    config.seed = seed;
+    net::Scenario scenario{config};
+    scenario.add_networks(specs, scheme);
+    scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(8.0));
+    overall += scenario.overall_throughput();
+  }
+  return overall / trials;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figs. 25-27", "ZigBee vs CFD=3 w/o DCN vs CFD=3 with DCN on the three "
+                                     "general configurations (random TX power in [-22, 0] dBm)");
+
+  const auto zigbee_channels = phy::evenly_spaced(bench::kBandStart, phy::Mhz{5.0}, 4);
+  const auto dcn_channels = phy::evenly_spaced(bench::kBandStart, phy::Mhz{3.0}, 6);
+  const int trials = 5;
+
+  // Per-case densities (Fig. 22-24): Case I packs everything into one small
+  // interfering region ("deployed close to each other"); Case II puts each
+  // network in its own office room along a corridor; Case III scatters nodes
+  // over a large field.
+  net::RandomCaseConfig dense;
+  dense.region_m = 3.0;
+  net::RandomCaseConfig clustered;
+  clustered.region_m = 1.0;
+  clustered.room_spacing_m = 1.8;
+  net::RandomCaseConfig random_field;  // default 25 m field
+
+  struct Case {
+    const char* name;
+    TopologyFn topology;
+    net::RandomCaseConfig topo;
+    const char* paper;
+  };
+  const Case cases[] = {
+      {"Case I (dense)", net::case1_dense, dense, "983 / 1326 / 1521 (+14.7%, +55.7%)"},
+      {"Case II (clustered)", net::case2_clustered, clustered,
+       "980 / 1382 / 1526 (+10.4%, +55.7%)"},
+      {"Case III (random)", net::case3_random, random_field,
+       "983 / 1282 / 1361 (+6.2%, +38.4%)"},
+  };
+
+  stats::TablePrinter table{{"configuration", "ZigBee", "w/o DCN", "with DCN",
+                             "DCN vs w/o", "DCN vs ZigBee"}};
+  for (const Case& c : cases) {
+    const double zigbee = run_design(c.topology, c.topo, zigbee_channels, 3,
+                                     net::Scheme::kFixedCca, trials, 11);
+    const double without = run_design(c.topology, c.topo, dcn_channels, 2,
+                                      net::Scheme::kFixedCca, trials, 11);
+    const double with = run_design(c.topology, c.topo, dcn_channels, 2, net::Scheme::kDcn,
+                                   trials, 11);
+    table.add_row({c.name, bench::pps(zigbee), bench::pps(without), bench::pps(with),
+                   bench::pct(with / without - 1.0), bench::pct(with / zigbee - 1.0)});
+    std::printf("  %s — paper: %s\n", c.name, c.paper);
+  }
+  std::printf("\n");
+  table.print();
+  std::printf("\nPaper's summary: DCN achieves 38.4%% - 55.7%% improvement over the "
+              "default ZigBee design; its incremental gain over plain CFD=3 shrinks when "
+              "co-channel RSSI is weak (Case III).\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Paper Figs. 28-29: packet recovery under severe inter-channel asymmetry.
+//
+// The victim link transmits at -22 dBm against 0 dBm interferers on the
+// neighbouring channels (Fig. 5 configuration, interferers pulled close).
+// With a relaxed CCA threshold about 20 % of the victim's packets fail CRC
+// (Fig. 28's sent-vs-received gap) — but most failures carry only a small
+// fraction of error bits (Fig. 29: 87 % of CRC failures have <= 10 % error
+// bits), so a PPR-style recovery scheme reclaims nearly all of them
+// ("Recoverable" ~ sent).
+//
+// Secondary table: ablation of the recovery threshold (max repairable
+// error-bit fraction).
+#include <cstdio>
+
+#include "common.hpp"
+#include "dcn/recovery.hpp"
+#include "net/scenario.hpp"
+
+namespace {
+
+using namespace nomc;
+
+struct RecoveryRun {
+  double sent_pps = 0.0;
+  double received_pps = 0.0;
+  double recoverable_pps = 0.0;
+  dcn::RecoveryAnalyzer analyzer;
+};
+
+/// Fig. 5-style layout with the interferer networks pulled to 1 m of the
+/// victim receiver, so their 3 MHz leakage meaningfully corrupts the weak
+/// -22 dBm link once the CCA threshold stops suppressing concurrency.
+std::unique_ptr<net::Scenario> build(double threshold_dbm, RecoveryRun& run,
+                                     double max_error_fraction) {
+  auto scenario = std::make_unique<net::Scenario>();
+  const phy::Mhz victim_channel{2464.0};
+
+  const int victim = scenario->add_network(victim_channel, net::Scheme::kFixedCca);
+  net::LinkSpec link;
+  link.sender_pos = {0.0, 0.0};
+  link.receiver_pos = {0.0, 2.0};
+  link.tx_power = phy::Dbm{-22.0};
+  scenario->add_link(victim, link);
+  scenario->fixed_cca(victim, 0).set(phy::Dbm{threshold_dbm});
+
+  const struct {
+    double dx, dy, df;
+  } interferers[] = {{1.0, 2.0, +3.0}, {-1.0, 2.0, -3.0}, {0.0, 3.4, +6.0}, {0.0, -1.4, -6.0}};
+  for (const auto& it : interferers) {
+    const int n = scenario->add_network(victim_channel + phy::Mhz{it.df}, net::Scheme::kFixedCca);
+    for (int l = 0; l < 2; ++l) {
+      net::LinkSpec i_link;
+      i_link.sender_pos = {it.dx + 0.4 * l, it.dy};
+      i_link.receiver_pos = {it.dx + 0.4 * l, it.dy + 2.0};
+      i_link.tx_power = phy::Dbm{0.0};
+      scenario->add_link(n, i_link);
+    }
+  }
+
+  run.analyzer = dcn::RecoveryAnalyzer{dcn::RecoveryConfig{max_error_fraction}};
+  dcn::RecoveryAnalyzer* analyzer = &run.analyzer;
+  const phy::NodeId victim_rx = scenario->receiver_radio(victim, 0).node();
+  scenario->receiver_mac(victim, 0).set_rx_hook([analyzer, victim_rx](const phy::RxResult& rx) {
+    if (rx.frame.dst == victim_rx) analyzer->on_rx(rx);
+  });
+  return scenario;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figs. 28-29", "Partial packet recovery: -22 dBm victim vs 0 dBm "
+                                     "inter-channel interferers");
+
+  const double measure_s = 8.0;
+  stats::TablePrinter table{{"CCA thr (dBm)", "sent (pkt/s)", "received (pkt/s)",
+                             "recoverable (pkt/s)", "PRR", "PRR w/ recovery"}};
+  dcn::RecoveryAnalyzer relaxed_analyzer;
+  for (int thr = -95; thr <= -20; thr += 10) {
+    RecoveryRun run;
+    auto scenario = build(thr, run, 0.10);
+    const int victim = 0;
+    scenario->run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(measure_s));
+    const auto result = scenario->network_result(victim);
+
+    const double sent = static_cast<double>(result.links[0].sender.sent) / measure_s;
+    const double received = result.links[0].throughput_pps;
+    // Recoverable counts accumulate from t=0; rates below are conservative.
+    const double recoverable =
+        received + static_cast<double>(run.analyzer.recoverable()) / (measure_s + 1.0);
+    table.add_row({std::to_string(thr), bench::pps(sent), bench::pps(received),
+                   bench::pps(recoverable), bench::pct(result.links[0].prr),
+                   bench::pct(sent > 0 ? recoverable / sent : 1.0)});
+    if (thr == -25) relaxed_analyzer = run.analyzer;  // most relaxed point of the sweep
+  }
+  table.print();
+
+  std::printf("\nFig. 29 — CDF of error-bit fraction among CRC-failed packets "
+              "(most relaxed threshold):\n");
+  const auto& cdf = relaxed_analyzer.error_fraction_cdf();
+  if (cdf.empty()) {
+    std::printf("  (no CRC failures observed)\n");
+  } else {
+    stats::TablePrinter curve{{"error-bit fraction <=", "cumulative fraction"}};
+    for (const double x : {0.02, 0.05, 0.10, 0.20, 0.40, 0.60, 0.80, 1.0}) {
+      curve.add_row({stats::TablePrinter::num(x, 2),
+                     stats::TablePrinter::num(cdf.fraction_at_or_below(x), 2)});
+    }
+    curve.print();
+    std::printf("\nAt 0.10: %.2f (paper: 0.87)\n", cdf.fraction_at_or_below(0.10));
+
+    std::printf("\nAblation — recovery threshold (max repairable error fraction):\n");
+    stats::TablePrinter ablation{{"threshold", "recoverable share of CRC failures"}};
+    for (const double t : {0.02, 0.05, 0.10, 0.20, 0.50}) {
+      ablation.add_row({stats::TablePrinter::num(t, 2),
+                        stats::TablePrinter::num(cdf.fraction_at_or_below(t), 2)});
+    }
+    ablation.print();
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Microbenchmarks of the simulation substrate (google-benchmark): the hot
+// paths every figure bench runs millions of times. Useful when changing the
+// scheduler's heap, the medium's interference accumulation, or the BER
+// model.
+#include <benchmark/benchmark.h>
+
+#include "phy/medium.hpp"
+#include "phy/modulation.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace nomc;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    sim::RandomStream rng{1, 0};
+    for (int i = 0; i < events; ++i) {
+      scheduler.schedule_at(sim::SimTime::microseconds(rng.uniform_int(0, 1'000'000)), [] {});
+    }
+    scheduler.run_all();
+    benchmark::DoNotOptimize(scheduler.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1'000)->Arg(10'000);
+
+void BM_SchedulerCancelHalf(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    std::vector<sim::EventId> ids;
+    ids.reserve(events);
+    for (int i = 0; i < events; ++i) {
+      ids.push_back(scheduler.schedule_at(sim::SimTime::microseconds(i), [] {}));
+    }
+    for (int i = 0; i < events; i += 2) scheduler.cancel(ids[i]);
+    scheduler.run_all();
+    benchmark::DoNotOptimize(scheduler.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SchedulerCancelHalf)->Arg(10'000);
+
+void BM_MediumSenseEnergy(benchmark::State& state) {
+  const int active = static_cast<int>(state.range(0));
+  phy::Medium medium;
+  for (int i = 0; i < active + 1; ++i) {
+    medium.add_node({static_cast<double>(i), 0.0});
+  }
+  for (int i = 0; i < active; ++i) {
+    phy::Frame frame;
+    frame.id = medium.allocate_frame_id();
+    frame.src = static_cast<phy::NodeId>(i + 1);
+    frame.channel = phy::Mhz{2458.0 + 3.0 * (i % 6)};
+    frame.tx_power = phy::Dbm{0.0};
+    frame.psdu_bytes = 100;
+    medium.begin_tx(frame);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(medium.sense_energy(0, phy::Mhz{2464.0}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MediumSenseEnergy)->Arg(4)->Arg(12)->Arg(24);
+
+void BM_OqpskBer(benchmark::State& state) {
+  double sinr = -12.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::oqpsk_ber(sinr));
+    sinr += 0.01;
+    if (sinr > 12.0) sinr = -12.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OqpskBer);
+
+void BM_BinomialDraw(benchmark::State& state) {
+  sim::RandomStream rng{1, 0};
+  const double p = 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.binomial(1000, p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BinomialDraw);
+
+}  // namespace
+
+BENCHMARK_MAIN();

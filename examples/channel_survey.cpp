@@ -1,0 +1,100 @@
+// Channel survey: using the PHY-layer API directly, the way a deployment
+// engineer would probe a site before choosing a channel plan.
+//
+// Prints the calibrated radio model (rejection curves, BER/PER vs SINR),
+// then runs a live CPRR probe — two links colliding on purpose, the
+// paper's §III-B experiment — at each candidate CFD, and ends with a
+// channel-plan recommendation for a given band.
+#include <cstdio>
+
+#include "mac/attacker.hpp"
+#include "phy/channel_plan.hpp"
+#include "phy/medium.hpp"
+#include "phy/modulation.hpp"
+#include "phy/radio.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace nomc;
+
+/// The §III-B collision probe: attacker 1 m from the victim receiver,
+/// both carrier-sense-disabled; returns the victim's CPRR.
+double cprr_probe(double cfd_mhz) {
+  sim::Scheduler scheduler;
+  phy::Medium medium;
+
+  const phy::Mhz ch_a{2460.0};
+  const phy::Mhz ch_b{2460.0 + cfd_mhz};
+  const phy::NodeId tx = medium.add_node({0.0, 0.0});
+  const phy::NodeId rx = medium.add_node({0.0, 12.0});
+  const phy::NodeId atk = medium.add_node({1.0, 12.0});
+  const phy::NodeId atk_rx = medium.add_node({1.0, 0.0});
+
+  phy::RadioConfig cfg_a;
+  cfg_a.channel = ch_a;
+  phy::RadioConfig cfg_b;
+  cfg_b.channel = ch_b;
+  phy::Radio tx_radio{scheduler, medium, sim::RandomStream{1, 0}, tx, cfg_a};
+  phy::Radio rx_radio{scheduler, medium, sim::RandomStream{1, 1}, rx, cfg_a};
+  phy::Radio atk_radio{scheduler, medium, sim::RandomStream{1, 2}, atk, cfg_b};
+  phy::Radio atk_rx_radio{scheduler, medium, sim::RandomStream{1, 3}, atk_rx, cfg_b};
+
+  mac::AttackerMac sender{scheduler, medium, tx_radio};
+  mac::AttackerMac attacker{scheduler, medium, atk_radio};
+  mac::AttackerMac receiver{scheduler, medium, rx_radio};
+  mac::AttackerMac attacker_receiver{scheduler, medium, atk_rx_radio};
+  sender.start(rx, 100, sim::SimTime::milliseconds(5));
+  attacker.start(atk_rx, 50, sim::SimTime::milliseconds(3));
+  scheduler.run_until(sim::SimTime::seconds(20.0));
+  return receiver.counters().cprr();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Site survey with the PHY API ===\n\n");
+
+  std::printf("Calibrated CC2420 channel rejection (dB) by frequency offset:\n");
+  const auto decode = phy::ChannelRejection::cc2420_decode();
+  const auto sensing = phy::ChannelRejection::cc2420_sensing();
+  stats::TablePrinter rejection{{"offset (MHz)", "demodulator", "CCA energy detector"}};
+  for (const double f : {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 7.0, 9.0, 15.0}) {
+    rejection.add_row({stats::TablePrinter::num(f, 0),
+                       stats::TablePrinter::num(decode.attenuation(phy::Mhz{f}).value, 1),
+                       stats::TablePrinter::num(sensing.attenuation(phy::Mhz{f}).value, 1)});
+  }
+  rejection.print();
+
+  std::printf("\nO-QPSK DSSS link budget (100-byte PSDU):\n");
+  stats::TablePrinter ber_table{{"SINR (dB)", "BER", "PER"}};
+  for (const double sinr : {-6.0, -4.0, -2.0, -1.0, 0.0, 1.0, 2.0, 4.0, 6.0}) {
+    const double ber = phy::oqpsk_ber(sinr);
+    char ber_str[32];
+    std::snprintf(ber_str, sizeof ber_str, "%.2e", ber);
+    ber_table.add_row({stats::TablePrinter::num(sinr, 0), ber_str,
+                       stats::TablePrinter::num(phy::packet_error_rate(ber, 800), 3)});
+  }
+  ber_table.print();
+  std::printf("50%%-PER cliff for 800-bit packets: %.1f dB SINR\n", phy::sinr_for_per50(800));
+
+  std::printf("\nLive CPRR probe (two colliding links, attacker 24 dB hot):\n");
+  stats::TablePrinter probe{{"CFD (MHz)", "CPRR"}};
+  for (const double cfd : {5.0, 4.0, 3.0, 2.0, 1.0}) {
+    probe.add_row({stats::TablePrinter::num(cfd, 0),
+                   stats::TablePrinter::num(100.0 * cprr_probe(cfd), 1) + "%"});
+  }
+  probe.print();
+
+  std::printf("\nChannel plans for the 2458-2473 MHz band:\n");
+  for (const double cfd : {5.0, 3.0}) {
+    const auto plan = phy::pack_band(phy::Mhz{2458.0}, phy::Mhz{2473.0}, phy::Mhz{cfd});
+    std::printf("  CFD=%.0f MHz -> %zu channels:", cfd, plan.size());
+    for (const auto c : plan) std::printf(" %.0f", c.value);
+    std::printf("\n");
+  }
+  std::printf("\nRecommendation: CFD=3 MHz with DCN — CPRR stays ~97%% while channel\n"
+              "count rises 1.5x over the ZigBee default (the paper's conclusion).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Wi-Fi coexistence: DCN under a colocated 802.11 network.
+//
+// The paper's motivation cites external wireless networks as one reason
+// usable 802.15.4 channels are scarce. This example measures it: a Wi-Fi
+// AP on 802.11 channel 7 (2442 MHz, 22 MHz wide) bursts at ~20 % duty a few
+// metres from a 6-channel sensor deployment on 2458-2473 MHz.
+//
+// The Wi-Fi main lobe's skirt lands in the LOWER sensor channels' CCA at
+// around the default -77 dBm: fixed-threshold senders on those channels
+// keep deferring to energy they could talk over, while DCN's relaxed
+// thresholds ignore it (the SINR cost is negligible — the skirt is ~25 dB
+// below the wanted signal). The per-channel table makes the mechanism
+// visible: the fixed design's losses concentrate on the low channels.
+#include <cstdio>
+#include <memory>
+
+#include "net/scenario.hpp"
+#include "net/topology.hpp"
+#include "phy/channel_plan.hpp"
+#include "stats/table.hpp"
+#include "wifi/interferer.hpp"
+
+int main() {
+  using namespace nomc;
+  std::printf("=== Wi-Fi coexistence: 6-channel deployment vs an 802.11 AP at 2442 MHz ===\n\n");
+
+  const auto channels = phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{3.0}, 6);
+  const net::RandomCaseConfig topology =
+      net::RandomCaseConfig{}.with_fixed_power(phy::Dbm{0.0});
+
+  double overall[2][2] = {};  // [scheme][wifi on]
+  std::vector<std::vector<double>> per_network(4);
+  for (int design = 0; design < 2; ++design) {
+    for (int wifi_on = 0; wifi_on < 2; ++wifi_on) {
+      net::ScenarioConfig config;
+      config.seed = 13;
+      net::Scenario scenario{config};
+      sim::RandomStream placement{config.seed, 999};
+      scenario.add_networks(net::case1_dense(channels, placement, topology),
+                            design == 1 ? net::Scheme::kDcn : net::Scheme::kFixedCca);
+
+      std::unique_ptr<wifi::WifiInterferer> ap;
+      if (wifi_on == 1) {
+        // A few metres off the sensor field, transmitting at 15 dBm.
+        ap = std::make_unique<wifi::WifiInterferer>(scenario.scheduler(), scenario.medium(),
+                                                    phy::Vec2{3.5, 10.0});
+        ap->start();
+      }
+      scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(8.0));
+      overall[design][wifi_on] = scenario.overall_throughput();
+      for (int n = 0; n < scenario.network_count(); ++n) {
+        per_network[design * 2 + wifi_on].push_back(
+            scenario.network_result(n).throughput_pps);
+      }
+    }
+  }
+
+  stats::TablePrinter table{{"network (MHz)", "fixed, quiet", "fixed, Wi-Fi", "DCN, quiet",
+                             "DCN, Wi-Fi"}};
+  for (std::size_t n = 0; n < channels.size(); ++n) {
+    table.add_row({stats::TablePrinter::num(channels[n].value, 0),
+                   stats::TablePrinter::num(per_network[0][n], 1),
+                   stats::TablePrinter::num(per_network[1][n], 1),
+                   stats::TablePrinter::num(per_network[2][n], 1),
+                   stats::TablePrinter::num(per_network[3][n], 1)});
+  }
+  table.print();
+
+  const double fixed_loss = 100.0 * (1.0 - overall[0][1] / overall[0][0]);
+  const double dcn_loss = 100.0 * (1.0 - overall[1][1] / overall[1][0]);
+  std::printf("\noverall under Wi-Fi: fixed CCA %.1f -> %.1f pkt/s (-%.1f%%), "
+              "DCN %.1f -> %.1f pkt/s (-%.1f%%)\n",
+              overall[0][0], overall[0][1], fixed_loss, overall[1][0], overall[1][1],
+              dcn_loss);
+  std::printf("DCN's relaxed thresholds shrug off the Wi-Fi skirt the fixed design\n"
+              "defers to — the same mechanism that unlocks inter-channel concurrency.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Multi-hop data collection: the classic WSN workload (every sensor reports
+// to a sink), run over the paper's two designs.
+//
+// This walks the `collect` API: trees are built automatically (nodes beyond
+// direct sink range forward through the nearest closer node, with per-hop
+// 802.15.4 ACKs), one tree per channel, all trees interleaved in one field.
+// TMCP-style orthogonal partitioning caps the tree count at 4; the
+// non-orthogonal DCN design runs 6 smaller, shallower trees on the same
+// band and collects substantially more.
+#include <cstdio>
+
+#include "collect/collection.hpp"
+#include "phy/channel_plan.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace nomc;
+  std::printf("=== Data collection: 24 sensors -> one sink, 15 MHz band ===\n\n");
+
+  struct Design {
+    const char* name;
+    int channels;
+    double cfd;
+    net::Scheme scheme;
+  };
+  const Design designs[] = {
+      {"TMCP-style: 4 orthogonal trees", 4, 5.0, net::Scheme::kFixedCca},
+      {"Non-orthogonal + DCN: 6 trees", 6, 3.0, net::Scheme::kDcn},
+  };
+
+  stats::TablePrinter table{{"design", "offered (pkt/s)", "collected (pkt/s)", "delivery"}};
+  for (const Design& design : designs) {
+    collect::CollectionConfig config;
+    config.scheme = design.scheme;
+    config.nodes_per_tree = 24 / design.channels;
+    config.report_period = sim::SimTime::milliseconds(30);  // ~33 readings/s each
+    const auto channels =
+        phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{design.cfd}, design.channels);
+
+    collect::CollectionScenario scenario{channels, config, /*seed=*/17};
+    const double goodput =
+        scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(10.0));
+
+    const double offered = 24.0 * 1000.0 / config.report_period.to_milliseconds();
+    table.add_row({design.name, stats::TablePrinter::num(offered, 0),
+                   stats::TablePrinter::num(goodput, 1),
+                   stats::TablePrinter::num(100.0 * goodput / offered, 1) + "%"});
+
+    std::printf("%s — per-tree detail:\n", design.name);
+    for (std::size_t t = 0; t < scenario.trees().size(); ++t) {
+      const auto& tree = *scenario.trees()[t];
+      std::uint64_t forwarded = 0;
+      for (const auto& node : tree.nodes()) forwarded += node->forwarded;
+      std::printf("  tree %zu (%.0f MHz): collected %llu, depth %d, relayed %llu\n", t,
+                  tree.channel().value, static_cast<unsigned long long>(tree.collected()),
+                  tree.max_depth(), static_cast<unsigned long long>(forwarded));
+    }
+    std::printf("\n");
+  }
+  table.print();
+  std::printf("\nMore, shallower trees beat fewer, deeper ones — once DCN makes the\n"
+              "non-orthogonal channels usable (TMCP's orthogonality constraint is the\n"
+              "bottleneck the paper removes).\n");
+  return 0;
+}

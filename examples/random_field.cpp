@@ -1,0 +1,73 @@
+// Randomly scattered field (the paper's Case III, Fig. 24) — and DCN's
+// documented weakness.
+//
+// Scenario: environmental monitoring over a large area; nodes of different
+// networks are interleaved at random. Some sender->receiver pairs of the
+// SAME network end up far apart, so the co-channel packets a sender
+// overhears are weak — and DCN's safety rule (threshold strictly below the
+// minimum co-channel RSSI, Eq. 1) pins its CCA threshold low. A low
+// threshold cannot be relaxed over nearby inter-channel traffic, so the
+// concurrency gain shrinks (paper: +6.2 % vs +14.7 % in the dense case).
+//
+// This example makes the mechanism visible: it prints, per link, the
+// distance to the co-channel partner, the threshold the adjustor settled
+// on, and the link's throughput under both schemes.
+#include <cmath>
+#include <cstdio>
+
+#include "net/scenario.hpp"
+#include "net/topology.hpp"
+#include "phy/channel_plan.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace nomc;
+  std::printf("=== Random field (Case III): 6 networks scattered over 25x25 m ===\n\n");
+
+  const auto channels = phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{3.0}, 6);
+  const net::RandomCaseConfig topology;  // defaults: 25 m field, power in [-22, 0]
+
+  double overall_fixed = 0.0;
+  double overall_dcn = 0.0;
+  for (int design = 0; design < 2; ++design) {
+    net::ScenarioConfig config;
+    config.seed = 33;
+    net::Scenario scenario{config};
+    sim::RandomStream placement{config.seed, 999};
+    scenario.add_networks(net::case3_random(channels, placement, topology),
+                          design == 1 ? net::Scheme::kDcn : net::Scheme::kFixedCca);
+    scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(10.0));
+
+    if (design == 0) {
+      overall_fixed = scenario.overall_throughput();
+      continue;
+    }
+    overall_dcn = scenario.overall_throughput();
+
+    stats::TablePrinter table{{"link", "co-partner distance (m)", "settled CCA thr (dBm)",
+                               "pkt/s"}};
+    for (int n = 0; n < scenario.network_count(); ++n) {
+      const auto result = scenario.network_result(n);
+      for (int l = 0; l < scenario.link_count(n); ++l) {
+        // Distance between this sender and its co-channel partner sender:
+        // what bounds the RSSI records feeding Eq. 4.
+        const int partner = 1 - l;
+        const phy::Vec2 self_pos =
+            scenario.medium().position(scenario.sender_radio(n, l).node());
+        const phy::Vec2 partner_pos =
+            scenario.medium().position(scenario.sender_radio(n, partner).node());
+        table.add_row({"N" + std::to_string(n) + "/L" + std::to_string(l),
+                       stats::TablePrinter::num(distance(self_pos, partner_pos), 1),
+                       stats::TablePrinter::num(scenario.adjustor(n, l)->threshold().value, 1),
+                       stats::TablePrinter::num(result.links[l].throughput_pps, 1)});
+      }
+    }
+    table.print();
+  }
+
+  std::printf("\noverall: fixed CCA %.1f pkt/s, DCN %.1f pkt/s (%+.1f%%)\n", overall_fixed,
+              overall_dcn, 100.0 * (overall_dcn / overall_fixed - 1.0));
+  std::printf("Links with a distant co-channel partner settle LOW thresholds (the Eq. 1\n"
+              "safety rule), giving up concurrency — DCN's Case III limitation.\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+#include "cli/args.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace nomc::cli {
+namespace {
+
+bool parse_double(const std::string& text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && !text.empty();
+}
+
+bool parse_int(const std::string& text, int& out) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) return false;
+  out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+void ArgParser::add_string(const std::string& name, std::string default_value,
+                           std::string description) {
+  options_[name] = Option{Type::kString, std::move(default_value), std::move(description), {}};
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           std::string description) {
+  options_[name] =
+      Option{Type::kDouble, std::to_string(default_value), std::move(description), {}};
+}
+
+void ArgParser::add_int(const std::string& name, int default_value, std::string description) {
+  options_[name] = Option{Type::kInt, std::to_string(default_value), std::move(description), {}};
+}
+
+void ArgParser::add_flag(const std::string& name, std::string description) {
+  options_[name] = Option{Type::kFlag, "false", std::move(description), {}};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (token.rfind("--", 0) != 0) {
+      error_ = "unexpected argument: " + token;
+      return false;
+    }
+    token.erase(0, 2);
+
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token.resize(eq);
+      has_value = true;
+    }
+
+    const auto it = options_.find(token);
+    if (it == options_.end()) {
+      error_ = "unknown option: --" + token;
+      return false;
+    }
+    Option& option = it->second;
+
+    if (option.type == Type::kFlag) {
+      if (has_value) {
+        error_ = "flag --" + token + " takes no value";
+        return false;
+      }
+      option.value = "true";
+      continue;
+    }
+
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        error_ = "missing value for --" + token;
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (option.type == Type::kDouble) {
+      double parsed = 0.0;
+      if (!parse_double(value, parsed)) {
+        error_ = "not a number for --" + token + ": " + value;
+        return false;
+      }
+    } else if (option.type == Type::kInt) {
+      int parsed = 0;
+      if (!parse_int(value, parsed)) {
+        error_ = "not an integer for --" + token + ": " + value;
+        return false;
+      }
+    }
+    option.value = value;
+  }
+  return true;
+}
+
+std::string ArgParser::help(const std::string& program) const {
+  std::string out = "usage: " + program + " [options]\n\noptions:\n";
+  for (const auto& [name, option] : options_) {
+    out += "  --" + name;
+    if (option.type != Type::kFlag) out += " <" + option.default_value + ">";
+    out += "\n      " + option.description + "\n";
+  }
+  out += "  --help\n      show this message\n";
+  return out;
+}
+
+const ArgParser::Option& ArgParser::require(const std::string& name, Type type) const {
+  const auto it = options_.find(name);
+  assert(it != options_.end() && "option was never declared");
+  assert(it->second.type == type && "option accessed with the wrong type");
+  (void)type;
+  return it->second;
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  const Option& option = require(name, Type::kString);
+  return option.value.value_or(option.default_value);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const Option& option = require(name, Type::kDouble);
+  double out = 0.0;
+  const bool ok = parse_double(option.value.value_or(option.default_value), out);
+  assert(ok);
+  (void)ok;
+  return out;
+}
+
+int ArgParser::get_int(const std::string& name) const {
+  const Option& option = require(name, Type::kInt);
+  int out = 0;
+  const bool ok = parse_int(option.value.value_or(option.default_value), out);
+  assert(ok);
+  (void)ok;
+  return out;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const Option& option = require(name, Type::kFlag);
+  return option.value.has_value();
+}
+
+bool ArgParser::provided(const std::string& name) const {
+  const auto it = options_.find(name);
+  return it != options_.end() && it->second.value.has_value();
+}
+
+}  // namespace nomc::cli

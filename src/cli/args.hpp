@@ -1,0 +1,56 @@
+// Minimal typed command-line parser for the simulation driver tools.
+//
+// Supports "--key value" and "--key=value", typed defaults, and generated
+// help text. Unknown options are errors (typo protection); positional
+// arguments are not supported (the tools take none).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nomc::cli {
+
+class ArgParser {
+ public:
+  /// Declare an option with its default (shown in --help).
+  void add_string(const std::string& name, std::string default_value,
+                  std::string description);
+  void add_double(const std::string& name, double default_value, std::string description);
+  void add_int(const std::string& name, int default_value, std::string description);
+  void add_flag(const std::string& name, std::string description);
+
+  /// Parse argv (excluding argv[0]). Returns false and sets error() on any
+  /// unknown option, missing value, or malformed number.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] bool help_requested() const { return help_; }
+  [[nodiscard]] std::string help(const std::string& program) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// True when the option was explicitly supplied on the command line.
+  [[nodiscard]] bool provided(const std::string& name) const;
+
+ private:
+  enum class Type { kString, kDouble, kInt, kFlag };
+  struct Option {
+    Type type;
+    std::string default_value;
+    std::string description;
+    std::optional<std::string> value;
+  };
+
+  [[nodiscard]] const Option& require(const std::string& name, Type type) const;
+
+  std::map<std::string, Option> options_;
+  std::string error_;
+  bool help_ = false;
+};
+
+}  // namespace nomc::cli

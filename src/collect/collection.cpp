@@ -1,0 +1,169 @@
+#include "collect/collection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace nomc::collect {
+namespace {
+
+constexpr std::size_t kRelayQueueCap = 24;  // mote-sized forwarding buffer
+
+}  // namespace
+
+CollectionTree::CollectionTree(sim::Scheduler& scheduler, phy::Medium& medium,
+                               phy::Mhz channel, phy::Vec2 sink_pos,
+                               const CollectionConfig& config, sim::RandomStream& placement,
+                               std::uint64_t seed, std::uint64_t& stream)
+    : scheduler_{scheduler}, channel_{channel}, config_{config} {
+  mac::CsmaParams params;
+  params.max_queue = kRelayQueueCap;
+  params.access_failure_retries = 3;  // deployed-stack behaviour (see CsmaParams)
+  if (config_.scheme == net::Scheme::kCarrierSense) {
+    params.cca_mode = mac::CcaMode::kCarrierSense;
+  }
+
+  // Sink-side receiver for this tree (the multi-radio root).
+  sink_id_ = medium.add_node(sink_pos);
+  phy::RadioConfig radio_config;
+  radio_config.channel = channel_;
+  sink_radio_ = std::make_unique<phy::Radio>(scheduler_, medium,
+                                             sim::RandomStream{seed, stream++}, sink_id_,
+                                             radio_config);
+  sink_cca_ = std::make_unique<mac::FixedCcaThreshold>(config_.fixed_cca);
+  sink_mac_ = std::make_unique<mac::CsmaMac>(scheduler_, medium, *sink_radio_,
+                                             sim::RandomStream{seed, stream++}, *sink_cca_,
+                                             params);
+  sink_mac_->set_tx_power(config_.tx_power);
+  sink_mac_->set_delivery_hook([this](const phy::RxResult&) { ++collected_; });
+
+  // Scatter sensors around the sink; build parents nearest-first so every
+  // forwarding chain strictly approaches the sink (guaranteed acyclic).
+  struct Placed {
+    phy::Vec2 pos;
+    double dist;
+    std::size_t index;
+  };
+  std::vector<Placed> placed;
+  for (int i = 0; i < config_.nodes_per_tree; ++i) {
+    const double angle = placement.uniform(0.0, 2.0 * std::numbers::pi);
+    const double radius = placement.uniform(1.0, config_.field_radius_m);
+    const phy::Vec2 pos{sink_pos.x + radius * std::cos(angle),
+                        sink_pos.y + radius * std::sin(angle)};
+    placed.push_back({pos, distance(pos, sink_pos), static_cast<std::size_t>(i)});
+  }
+  std::sort(placed.begin(), placed.end(),
+            [](const Placed& a, const Placed& b) { return a.dist < b.dist; });
+
+  nodes_.reserve(placed.size());
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    auto node = std::make_unique<TreeNode>();
+    node->id = medium.add_node(placed[i].pos);
+    node->radio = std::make_unique<phy::Radio>(scheduler_, medium,
+                                               sim::RandomStream{seed, stream++}, node->id,
+                                               radio_config);
+    node->fixed_cca = std::make_unique<mac::FixedCcaThreshold>(config_.fixed_cca);
+    mac::CcaThresholdProvider* cca = node->fixed_cca.get();
+    if (config_.scheme == net::Scheme::kDcn) {
+      node->adjustor =
+          std::make_unique<dcn::CcaAdjustor>(scheduler_, *node->radio, config_.dcn);
+      cca = node->adjustor.get();
+    }
+    node->mac = std::make_unique<mac::CsmaMac>(scheduler_, medium, *node->radio,
+                                               sim::RandomStream{seed, stream++}, *cca,
+                                               params);
+    node->mac->set_tx_power(config_.tx_power);
+
+    if (placed[i].dist <= config_.direct_range_m || i == 0) {
+      // In range (or the closest node, which must anchor the tree).
+      node->parent = sink_id_;
+      node->depth = 1;
+    } else {
+      // Nearest already-placed node; all of them are closer to the sink.
+      std::size_t best = 0;
+      double best_dist = distance(placed[i].pos, placed[0].pos);
+      for (std::size_t j = 1; j < i; ++j) {
+        const double d = distance(placed[i].pos, placed[j].pos);
+        if (d < best_dist) {
+          best = j;
+          best_dist = d;
+        }
+      }
+      node->parent = nodes_[best]->id;
+      node->depth = nodes_[best]->depth + 1;
+    }
+
+    if (node->adjustor != nullptr) {
+      dcn::CcaAdjustor* adjustor = node->adjustor.get();
+      node->mac->add_rx_hook([adjustor](const phy::RxResult& rx) {
+        if (rx.crc_ok) adjustor->on_co_channel_packet(rx.rssi);
+      });
+    }
+
+    node->source = std::make_unique<mac::PeriodicSource>(scheduler_, *node->mac);
+    nodes_.push_back(std::move(node));
+  }
+
+  // Forwarding: anything delivered to a relay is re-queued toward its
+  // parent. Installed after construction so the hook can capture the node.
+  for (auto& node : nodes_) {
+    TreeNode* relay = node.get();
+    const int psdu = config_.psdu_bytes;
+    const bool acked = config_.acked_hops;
+    relay->mac->set_delivery_hook([relay, psdu, acked](const phy::RxResult&) {
+      relay->mac->enqueue(mac::TxRequest{relay->parent, psdu, acked});
+      ++relay->forwarded;
+    });
+  }
+}
+
+void CollectionTree::start() {
+  for (auto& node : nodes_) {
+    if (node->adjustor != nullptr) node->adjustor->start();
+    node->source->start(mac::TxRequest{node->parent, config_.psdu_bytes, config_.acked_hops},
+                        config_.report_period);
+  }
+}
+
+std::uint64_t CollectionTree::generated() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->source->generated();
+  return total;
+}
+
+int CollectionTree::max_depth() const {
+  int depth = 0;
+  for (const auto& node : nodes_) depth = std::max(depth, node->depth);
+  return depth;
+}
+
+CollectionScenario::CollectionScenario(std::span<const phy::Mhz> channels,
+                                       const CollectionConfig& config, std::uint64_t seed)
+    : medium_{[&] {
+        phy::MediumConfig medium_config;
+        medium_config.seed = seed;
+        return medium_config;
+      }()},
+      config_{config} {
+  sim::RandomStream placement{seed, 999};
+  std::uint64_t stream = 0;
+  for (const phy::Mhz channel : channels) {
+    trees_.push_back(std::make_unique<CollectionTree>(
+        scheduler_, medium_, channel, phy::Vec2{0.0, 0.0}, config_, placement, seed, stream));
+  }
+}
+
+double CollectionScenario::run(sim::SimTime warmup, sim::SimTime measure) {
+  for (auto& tree : trees_) tree->start();
+  scheduler_.schedule_at(warmup, [this] {
+    for (auto& tree : trees_) tree->reset_collected();
+  });
+  scheduler_.run_until(warmup + measure);
+
+  std::uint64_t collected = 0;
+  for (const auto& tree : trees_) collected += tree->collected();
+  return static_cast<double>(collected) / measure.to_seconds();
+}
+
+}  // namespace nomc::collect

@@ -1,0 +1,111 @@
+#include "dcn/cca_adjustor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nomc::dcn {
+
+CcaAdjustor::CcaAdjustor(sim::Scheduler& scheduler, phy::Radio& radio, DcnConfig config)
+    : scheduler_{scheduler},
+      radio_{radio},
+      config_{config},
+      threshold_{config.conservative_threshold} {}
+
+CcaAdjustor::~CcaAdjustor() {
+  for (sim::EventId id : {sense_timer_, init_done_timer_, check_timer_}) {
+    if (id != sim::kInvalidEventId) scheduler_.cancel(id);
+  }
+}
+
+phy::Dbm CcaAdjustor::clamp(phy::Dbm value) const {
+  return std::clamp(value, config_.min_threshold, config_.max_threshold);
+}
+
+void CcaAdjustor::start() {
+  assert(phase_ == Phase::kNotStarted && "start() is one-shot");
+  phase_ = Phase::kInitializing;
+  threshold_ = config_.conservative_threshold;
+  sense_timer_ = scheduler_.schedule_in(config_.init_sense_period, [this] { sense_tick(); });
+  init_done_timer_ = scheduler_.schedule_in(config_.t_init, [this] { finish_init(); });
+}
+
+void CcaAdjustor::sense_tick() {
+  sense_timer_ = sim::kInvalidEventId;
+  if (phase_ != Phase::kInitializing) return;
+  // The mote cannot read RSSI_VAL while its own PA is keyed.
+  if (radio_.state() != phy::Radio::State::kTx) {
+    const phy::Dbm sensed = radio_.sense_energy();
+    if (!init_max_sensed_ || sensed > *init_max_sensed_) init_max_sensed_ = sensed;
+  }
+  sense_timer_ = scheduler_.schedule_in(config_.init_sense_period, [this] { sense_tick(); });
+}
+
+void CcaAdjustor::finish_init() {
+  init_done_timer_ = sim::kInvalidEventId;
+  assert(phase_ == Phase::kInitializing);
+
+  // Eq. 2: CCA_I = min{ S_1, ..., max{P_1, ...} }. In-channel sensing always
+  // yields at least the noise floor, so the max-sensed term is always
+  // present; packets may not have been overheard yet.
+  phy::Dbm initial = init_max_sensed_.value_or(config_.conservative_threshold);
+  if (init_min_rssi_ && *init_min_rssi_ < initial) initial = *init_min_rssi_;
+  threshold_ = clamp(initial - config_.safety_margin);
+  scheduler_.trace_event({.category = "dcn", .event = "threshold_init",
+                          .node = radio_.node(), .value = threshold_.value});
+
+  phase_ = Phase::kUpdating;
+  last_case1_ = scheduler_.now();
+  // Check Case II at a granularity well under T_U so the raise is not late.
+  const sim::SimTime check_period = sim::SimTime::nanoseconds(config_.t_update.ticks() / 4);
+  check_timer_ = scheduler_.schedule_in(check_period, [this] { periodic_check(); });
+}
+
+void CcaAdjustor::on_co_channel_packet(phy::Dbm rssi) {
+  if (phase_ == Phase::kNotStarted) return;
+
+  if (phase_ == Phase::kInitializing) {
+    if (!init_min_rssi_ || rssi < *init_min_rssi_) init_min_rssi_ = rssi;
+    return;
+  }
+
+  records_.push_back(Record{scheduler_.now(), rssi});
+  prune_records();
+
+  // Case I (Eq. 3): a co-channel neighbour weaker than the current threshold
+  // would be masked by it — lower the threshold immediately.
+  if (rssi - config_.safety_margin < threshold_) {
+    threshold_ = clamp(rssi - config_.safety_margin);
+    last_case1_ = scheduler_.now();
+    scheduler_.trace_event({.category = "dcn", .event = "threshold_lower",
+                            .node = radio_.node(), .value = threshold_.value});
+  }
+}
+
+void CcaAdjustor::prune_records() {
+  const sim::SimTime cutoff = scheduler_.now() - config_.t_update;
+  while (!records_.empty() && records_.front().at < cutoff) records_.pop_front();
+}
+
+void CcaAdjustor::periodic_check() {
+  check_timer_ = sim::kInvalidEventId;
+  assert(phase_ == Phase::kUpdating);
+  prune_records();
+
+  // Case II (Eq. 4): no Case-I lowering for T_U means the weakest co-channel
+  // interferer of the last window defines how high the threshold may rise.
+  if (scheduler_.now() - last_case1_ >= config_.t_update && !records_.empty()) {
+    phy::Dbm min_rssi = records_.front().rssi;
+    for (const Record& r : records_) min_rssi = std::min(min_rssi, r.rssi);
+    const phy::Dbm updated = clamp(min_rssi - config_.safety_margin);
+    if (updated != threshold_) {
+      threshold_ = updated;
+      scheduler_.trace_event({.category = "dcn", .event = "threshold_raise",
+                              .node = radio_.node(), .value = threshold_.value});
+    }
+  }
+
+  const sim::SimTime check_period = sim::SimTime::nanoseconds(config_.t_update.ticks() / 4);
+  check_timer_ = scheduler_.schedule_in(check_period, [this] { periodic_check(); });
+}
+
+}  // namespace nomc::dcn

@@ -1,0 +1,92 @@
+// CCA-Adjustor: the heart of DCN (paper §V, Fig. 11-12).
+//
+// Goal: set each sender's CCA threshold as HIGH as possible — so that
+// tolerable inter-channel energy no longer causes backoff and adjacent
+// non-orthogonal channels transmit concurrently — while staying BELOW the
+// power level of every co-channel interferer, so co-channel collisions are
+// still avoided.
+//
+// Two phases:
+//   Initializing (length T_I): record the minimum RSSI S_i of overheard
+//   co-channel packets and the maximum in-channel sensed power P_j (sensed
+//   every init_sense_period). At the end of the phase (Eq. 2):
+//       CCA_I = min{ S_1, S_2, ..., max{P_1, P_2, ...} } − margin
+//   The sensed-power term keeps the initial setting conservative: in-channel
+//   sensing also captures inter-channel leakage, so the threshold starts in
+//   the gap between co-channel and inter-channel interference (Fig. 12).
+//
+//   Updating: only packet RSSI is used (in-channel sensing costs CPU on the
+//   mote, §V-B-2). Case I (Eq. 3): an overheard co-channel packet weaker
+//   than the current threshold lowers it immediately. Case II (Eq. 4): if
+//   Case I has been quiet for T_U, the threshold is set to the minimum
+//   co-channel RSSI of the last T_U — allowing it to rise again after a
+//   weak interferer leaves.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "dcn/config.hpp"
+#include "mac/cca.hpp"
+#include "phy/radio.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nomc::dcn {
+
+class CcaAdjustor final : public mac::CcaThresholdProvider {
+ public:
+  enum class Phase { kNotStarted, kInitializing, kUpdating };
+
+  CcaAdjustor(sim::Scheduler& scheduler, phy::Radio& radio, DcnConfig config = {});
+  ~CcaAdjustor() override;
+  CcaAdjustor(const CcaAdjustor&) = delete;
+  CcaAdjustor& operator=(const CcaAdjustor&) = delete;
+
+  /// Enter the initializing phase now (node start-up).
+  void start();
+
+  /// Feed the RSSI of a successfully decoded co-channel packet. Wire this to
+  /// the MAC's promiscuous receive hook; the radio only ever locks onto
+  /// co-channel frames, so no extra filtering is needed.
+  void on_co_channel_packet(phy::Dbm rssi);
+
+  [[nodiscard]] phy::Dbm threshold() const override { return threshold_; }
+  [[nodiscard]] Phase phase() const { return phase_; }
+
+  // Introspection for tests and the figure benches.
+  [[nodiscard]] std::optional<phy::Dbm> init_min_packet_rssi() const { return init_min_rssi_; }
+  [[nodiscard]] std::optional<phy::Dbm> init_max_sensed() const { return init_max_sensed_; }
+  [[nodiscard]] std::size_t update_records() const { return records_.size(); }
+
+ private:
+  void sense_tick();
+  void finish_init();
+  void periodic_check();
+  void prune_records();
+  [[nodiscard]] phy::Dbm clamp(phy::Dbm value) const;
+
+  sim::Scheduler& scheduler_;
+  phy::Radio& radio_;
+  DcnConfig config_;
+
+  Phase phase_ = Phase::kNotStarted;
+  phy::Dbm threshold_;
+
+  // Initializing phase state.
+  std::optional<phy::Dbm> init_min_rssi_;
+  std::optional<phy::Dbm> init_max_sensed_;
+
+  // Updating phase: co-channel RSSI records within the last T_U.
+  struct Record {
+    sim::SimTime at;
+    phy::Dbm rssi;
+  };
+  std::deque<Record> records_;
+  sim::SimTime last_case1_ = sim::SimTime::zero();
+
+  sim::EventId sense_timer_ = sim::kInvalidEventId;
+  sim::EventId init_done_timer_ = sim::kInvalidEventId;
+  sim::EventId check_timer_ = sim::kInvalidEventId;
+};
+
+}  // namespace nomc::dcn

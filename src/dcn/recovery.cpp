@@ -1,0 +1,15 @@
+#include "dcn/recovery.hpp"
+
+namespace nomc::dcn {
+
+void RecoveryAnalyzer::on_rx(const phy::RxResult& result) {
+  if (result.crc_ok) {
+    ++intact_;
+    return;
+  }
+  ++crc_failed_;
+  cdf_.add(result.error_fraction);
+  if (result.error_fraction <= config_.max_error_fraction) ++recoverable_;
+}
+
+}  // namespace nomc::dcn

@@ -1,0 +1,70 @@
+#include "mac/attacker.hpp"
+
+#include <cassert>
+
+namespace nomc::mac {
+
+AttackerMac::AttackerMac(sim::Scheduler& scheduler, phy::Medium& medium, phy::Radio& radio)
+    : scheduler_{scheduler}, medium_{medium}, radio_{radio} {
+  radio_.set_listener(this);
+}
+
+AttackerMac::~AttackerMac() {
+  stop();
+  radio_.set_listener(nullptr);
+}
+
+void AttackerMac::start(phy::NodeId dst, int psdu_bytes, sim::SimTime period) {
+  assert(psdu_bytes > 0);
+  assert(period > sim::SimTime::zero());
+  dst_ = dst;
+  psdu_bytes_ = psdu_bytes;
+  period_ = period;
+  running_ = true;
+  timer_ = scheduler_.schedule_in(period_, [this] { fire(); });
+}
+
+void AttackerMac::stop() {
+  running_ = false;
+  if (timer_ != sim::kInvalidEventId) {
+    scheduler_.cancel(timer_);
+    timer_ = sim::kInvalidEventId;
+  }
+}
+
+void AttackerMac::fire() {
+  timer_ = sim::kInvalidEventId;
+  if (!running_) return;
+  // No carrier sensing: transmit regardless of channel state, unless the
+  // previous frame is somehow still leaving the radio (period < duration).
+  if (radio_.state() != phy::Radio::State::kTx) {
+    phy::Frame frame;
+    frame.id = medium_.allocate_frame_id();
+    frame.src = radio_.node();
+    frame.dst = dst_;
+    frame.channel = radio_.channel();
+    frame.tx_power = tx_power_;
+    frame.psdu_bytes = psdu_bytes_;
+    radio_.transmit(frame);
+    ++counters_.sent;
+  }
+  timer_ = scheduler_.schedule_in(period_, [this] { fire(); });
+}
+
+void AttackerMac::on_tx_done(const phy::Frame&) {}
+
+void AttackerMac::on_rx(const phy::RxResult& result) {
+  if (rx_hook_) rx_hook_(result);
+  if (result.frame.dst != radio_.node()) return;
+  if (result.collided()) {
+    ++counters_.collided;
+    if (result.crc_ok) ++counters_.collided_received;
+  }
+  if (result.crc_ok) {
+    ++counters_.received;
+  } else {
+    ++counters_.crc_failed;
+  }
+}
+
+}  // namespace nomc::mac

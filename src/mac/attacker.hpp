@@ -1,0 +1,56 @@
+// Carrier-sense-disabled "attacker" sender (paper §III-B, Fig. 3).
+//
+// To manufacture guaranteed collisions, the paper designates one link's
+// sender as an attacker that bypasses CSMA entirely and blasts a frame every
+// 3 ms; with such channel occupancy every frame of the normal sender on the
+// neighbouring channel collides, which is what the CPRR metric measures.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "phy/radio.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/counters.hpp"
+
+namespace nomc::mac {
+
+class AttackerMac final : public phy::RadioListener {
+ public:
+  AttackerMac(sim::Scheduler& scheduler, phy::Medium& medium, phy::Radio& radio);
+  ~AttackerMac() override;
+  AttackerMac(const AttackerMac&) = delete;
+  AttackerMac& operator=(const AttackerMac&) = delete;
+
+  void set_tx_power(phy::Dbm power) { tx_power_ = power; }
+
+  /// Begin firing frames of `psdu_bytes` to `dst` every `period`.
+  void start(phy::NodeId dst, int psdu_bytes, sim::SimTime period);
+  void stop();
+
+  /// Promiscuous receive hook (same contract as CsmaMac's).
+  void set_rx_hook(std::function<void(const phy::RxResult&)> hook) { rx_hook_ = std::move(hook); }
+
+  [[nodiscard]] const stats::PacketCounters& counters() const { return counters_; }
+
+  // RadioListener:
+  void on_rx(const phy::RxResult& result) override;
+  void on_tx_done(const phy::Frame& frame) override;
+
+ private:
+  void fire();
+
+  sim::Scheduler& scheduler_;
+  phy::Medium& medium_;
+  phy::Radio& radio_;
+  phy::Dbm tx_power_{0.0};
+  phy::NodeId dst_ = phy::kNoNode;
+  int psdu_bytes_ = 0;
+  sim::SimTime period_ = sim::SimTime::milliseconds(3);
+  bool running_ = false;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::function<void(const phy::RxResult&)> rx_hook_;
+  stats::PacketCounters counters_;
+};
+
+}  // namespace nomc::mac

@@ -1,0 +1,34 @@
+// Clear-channel-assessment threshold sources.
+//
+// The MAC asks a CcaThresholdProvider for the current threshold each time it
+// performs CCA. The default ZigBee design uses a fixed −77 dBm; the paper's
+// DCN contribution is a dynamic provider (dcn::CcaAdjustor) plugged into the
+// same seam.
+#pragma once
+
+#include "phy/units.hpp"
+
+namespace nomc::mac {
+
+class CcaThresholdProvider {
+ public:
+  virtual ~CcaThresholdProvider() = default;
+  [[nodiscard]] virtual phy::Dbm threshold() const = 0;
+};
+
+/// ZigBee default: a compile-time-fixed energy threshold.
+class FixedCcaThreshold final : public CcaThresholdProvider {
+ public:
+  explicit FixedCcaThreshold(phy::Dbm threshold) : threshold_{threshold} {}
+
+  [[nodiscard]] phy::Dbm threshold() const override { return threshold_; }
+  void set(phy::Dbm threshold) { threshold_ = threshold; }
+
+ private:
+  phy::Dbm threshold_;
+};
+
+/// The CC2420 default the paper compares against.
+inline constexpr phy::Dbm kZigbeeDefaultCcaThreshold{-77.0};
+
+}  // namespace nomc::mac

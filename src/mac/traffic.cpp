@@ -1,0 +1,70 @@
+#include "mac/traffic.hpp"
+
+#include <cassert>
+
+namespace nomc::mac {
+
+PeriodicSource::PeriodicSource(sim::Scheduler& scheduler, CsmaMac& mac)
+    : scheduler_{scheduler}, mac_{mac} {}
+
+PeriodicSource::~PeriodicSource() { stop(); }
+
+void PeriodicSource::start(TxRequest request, sim::SimTime period) {
+  assert(request.psdu_bytes > 0);
+  assert(period > sim::SimTime::zero());
+  request_ = request;
+  period_ = period;
+  running_ = true;
+  timer_ = scheduler_.schedule_in(period_, [this] { tick(); });
+}
+
+void PeriodicSource::stop() {
+  running_ = false;
+  if (timer_ != sim::kInvalidEventId) {
+    scheduler_.cancel(timer_);
+    timer_ = sim::kInvalidEventId;
+  }
+}
+
+void PeriodicSource::tick() {
+  timer_ = sim::kInvalidEventId;
+  if (!running_) return;
+  mac_.enqueue(request_);
+  ++generated_;
+  timer_ = scheduler_.schedule_in(period_, [this] { tick(); });
+}
+
+PoissonSource::PoissonSource(sim::Scheduler& scheduler, CsmaMac& mac, sim::RandomStream rng)
+    : scheduler_{scheduler}, mac_{mac}, rng_{std::move(rng)} {}
+
+PoissonSource::~PoissonSource() { stop(); }
+
+void PoissonSource::start(TxRequest request, double rate_per_second) {
+  assert(request.psdu_bytes > 0);
+  assert(rate_per_second > 0.0);
+  request_ = request;
+  rate_ = rate_per_second;
+  running_ = true;
+  schedule_next();
+}
+
+void PoissonSource::stop() {
+  running_ = false;
+  if (timer_ != sim::kInvalidEventId) {
+    scheduler_.cancel(timer_);
+    timer_ = sim::kInvalidEventId;
+  }
+}
+
+void PoissonSource::schedule_next() {
+  const double wait_s = rng_.exponential(rate_);
+  timer_ = scheduler_.schedule_in(sim::SimTime::seconds(wait_s), [this] {
+    timer_ = sim::kInvalidEventId;
+    if (!running_) return;
+    mac_.enqueue(request_);
+    ++generated_;
+    schedule_next();
+  });
+}
+
+}  // namespace nomc::mac

@@ -1,0 +1,67 @@
+// Traffic sources beyond saturation.
+//
+// The paper's experiments run saturated senders (CsmaMac::set_saturated);
+// deployed sensor networks usually report periodically or in Poisson
+// bursts. These sources drive a CsmaMac from the scheduler and stop cleanly.
+#pragma once
+
+#include "mac/csma.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nomc::mac {
+
+/// Fixed-interval sensing reports (e.g. one reading per second).
+class PeriodicSource {
+ public:
+  PeriodicSource(sim::Scheduler& scheduler, CsmaMac& mac);
+  ~PeriodicSource();
+  PeriodicSource(const PeriodicSource&) = delete;
+  PeriodicSource& operator=(const PeriodicSource&) = delete;
+
+  /// Enqueue `request` every `period`, first at now + period.
+  void start(TxRequest request, sim::SimTime period);
+  void stop();
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+
+ private:
+  void tick();
+
+  sim::Scheduler& scheduler_;
+  CsmaMac& mac_;
+  TxRequest request_{};
+  sim::SimTime period_;
+  bool running_ = false;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::uint64_t generated_ = 0;
+};
+
+/// Poisson arrivals (exponential inter-arrival times) at a mean rate.
+class PoissonSource {
+ public:
+  PoissonSource(sim::Scheduler& scheduler, CsmaMac& mac, sim::RandomStream rng);
+  ~PoissonSource();
+  PoissonSource(const PoissonSource&) = delete;
+  PoissonSource& operator=(const PoissonSource&) = delete;
+
+  /// Enqueue `request` at `rate_per_second` mean arrivals per second.
+  void start(TxRequest request, double rate_per_second);
+  void stop();
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+
+ private:
+  void schedule_next();
+
+  sim::Scheduler& scheduler_;
+  CsmaMac& mac_;
+  sim::RandomStream rng_;
+  TxRequest request_{};
+  double rate_ = 0.0;
+  bool running_ = false;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace nomc::mac

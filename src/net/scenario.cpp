@@ -1,0 +1,243 @@
+#include "net/scenario.hpp"
+
+#include <cassert>
+
+namespace nomc::net {
+
+struct Scenario::LinkRuntime {
+  phy::NodeId sender_id = phy::kNoNode;
+  phy::NodeId receiver_id = phy::kNoNode;
+  std::unique_ptr<phy::Radio> sender_radio;
+  std::unique_ptr<phy::Radio> receiver_radio;
+  std::unique_ptr<mac::FixedCcaThreshold> fixed_cca;
+  std::unique_ptr<dcn::CcaAdjustor> adjustor;  // only for DCN networks
+  std::unique_ptr<mac::CsmaMac> sender_mac;
+  std::unique_ptr<mac::CsmaMac> receiver_mac;
+  stats::ThroughputMeter meter;
+  bool traffic_enabled = true;
+  // Counter snapshots at the start of the measurement window.
+  stats::PacketCounters sender_baseline;
+  stats::PacketCounters receiver_baseline;
+};
+
+struct Scenario::NetworkRuntime {
+  phy::Mhz channel;
+  Scheme scheme = Scheme::kFixedCca;
+  std::vector<std::unique_ptr<LinkRuntime>> links;
+};
+
+namespace {
+
+/// Window-scoped counters: end-of-run minus start-of-window snapshot.
+stats::PacketCounters window_delta(const stats::PacketCounters& end,
+                                   const stats::PacketCounters& base) {
+  stats::PacketCounters d;
+  d.sent = end.sent - base.sent;
+  d.received = end.received - base.received;
+  d.crc_failed = end.crc_failed - base.crc_failed;
+  d.missed = end.missed - base.missed;
+  d.recovered = end.recovered - base.recovered;
+  d.cca_backoffs = end.cca_backoffs - base.cca_backoffs;
+  d.cca_failures = end.cca_failures - base.cca_failures;
+  d.collided = end.collided - base.collided;
+  d.collided_received = end.collided_received - base.collided_received;
+  d.acked = end.acked - base.acked;
+  d.retransmissions = end.retransmissions - base.retransmissions;
+  d.retry_drops = end.retry_drops - base.retry_drops;
+  d.duplicates = end.duplicates - base.duplicates;
+  d.queue_drops = end.queue_drops - base.queue_drops;
+  return d;
+}
+
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig config) : config_{std::move(config)} {
+  phy::MediumConfig medium_config = config_.medium;
+  medium_config.seed = config_.seed;
+  medium_ = std::make_unique<phy::Medium>(medium_config);
+}
+
+Scenario::~Scenario() = default;
+
+int Scenario::add_network(phy::Mhz channel, Scheme scheme) {
+  auto network = std::make_unique<NetworkRuntime>();
+  network->channel = channel;
+  network->scheme = scheme;
+  networks_.push_back(std::move(network));
+  return static_cast<int>(networks_.size()) - 1;
+}
+
+int Scenario::add_link(int network, const LinkSpec& spec) {
+  assert(network >= 0 && network < network_count());
+  assert(!ran_ && "scenario already ran");
+  NetworkRuntime& net = *networks_[static_cast<std::size_t>(network)];
+
+  auto link = std::make_unique<LinkRuntime>();
+  link->sender_id = medium_->add_node(spec.sender_pos);
+  link->receiver_id = medium_->add_node(spec.receiver_pos);
+
+  phy::RadioConfig radio_config;
+  radio_config.channel = net.channel;
+  link->sender_radio =
+      std::make_unique<phy::Radio>(scheduler_, *medium_,
+                                   sim::RandomStream{config_.seed, next_stream()},
+                                   link->sender_id, radio_config);
+  link->receiver_radio =
+      std::make_unique<phy::Radio>(scheduler_, *medium_,
+                                   sim::RandomStream{config_.seed, next_stream()},
+                                   link->receiver_id, radio_config);
+
+  link->fixed_cca = std::make_unique<mac::FixedCcaThreshold>(config_.fixed_cca_threshold);
+  mac::CcaThresholdProvider* sender_cca = link->fixed_cca.get();
+  if (net.scheme == Scheme::kDcn) {
+    link->adjustor =
+        std::make_unique<dcn::CcaAdjustor>(scheduler_, *link->sender_radio, config_.dcn);
+    sender_cca = link->adjustor.get();
+  }
+
+  mac::CsmaParams sender_params = config_.csma;
+  if (net.scheme == Scheme::kCarrierSense) {
+    sender_params.cca_mode = mac::CcaMode::kCarrierSense;
+  }
+  link->sender_mac = std::make_unique<mac::CsmaMac>(
+      scheduler_, *medium_, *link->sender_radio,
+      sim::RandomStream{config_.seed, next_stream()}, *sender_cca, sender_params);
+  link->sender_mac->set_tx_power(spec.tx_power);
+  // The receiver never transmits; it shares the sender's fixed provider only
+  // because the MAC constructor requires one.
+  link->receiver_mac = std::make_unique<mac::CsmaMac>(
+      scheduler_, *medium_, *link->receiver_radio,
+      sim::RandomStream{config_.seed, next_stream()}, *link->fixed_cca, config_.csma);
+
+  // Feed the adjustor with overheard co-channel packet RSSI (CRC-pass only:
+  // the RSSI field of decodable packets is what the mote firmware reads).
+  if (link->adjustor != nullptr) {
+    dcn::CcaAdjustor* adjustor = link->adjustor.get();
+    link->sender_mac->set_rx_hook([adjustor](const phy::RxResult& rx) {
+      if (rx.crc_ok) adjustor->on_co_channel_packet(rx.rssi);
+    });
+  }
+
+  stats::ThroughputMeter* meter = &link->meter;
+  sim::Scheduler* sched = &scheduler_;
+  link->receiver_mac->set_delivery_hook(
+      [meter, sched](const phy::RxResult&) { meter->record_delivery(sched->now()); });
+
+  net.links.push_back(std::move(link));
+  return static_cast<int>(net.links.size()) - 1;
+}
+
+void Scenario::add_networks(std::span<const NetworkSpec> specs, Scheme scheme) {
+  for (const NetworkSpec& spec : specs) {
+    const int n = add_network(spec.channel, scheme);
+    for (const LinkSpec& link : spec.links) add_link(n, link);
+  }
+}
+
+Scenario::LinkRuntime& Scenario::link_at(int network, int link) {
+  assert(network >= 0 && network < network_count());
+  auto& net = *networks_[static_cast<std::size_t>(network)];
+  assert(link >= 0 && link < static_cast<int>(net.links.size()));
+  return *net.links[static_cast<std::size_t>(link)];
+}
+
+const Scenario::LinkRuntime& Scenario::link_at(int network, int link) const {
+  return const_cast<Scenario*>(this)->link_at(network, link);
+}
+
+mac::CsmaMac& Scenario::sender_mac(int network, int link) {
+  return *link_at(network, link).sender_mac;
+}
+mac::CsmaMac& Scenario::receiver_mac(int network, int link) {
+  return *link_at(network, link).receiver_mac;
+}
+phy::Radio& Scenario::sender_radio(int network, int link) {
+  return *link_at(network, link).sender_radio;
+}
+phy::Radio& Scenario::receiver_radio(int network, int link) {
+  return *link_at(network, link).receiver_radio;
+}
+mac::FixedCcaThreshold& Scenario::fixed_cca(int network, int link) {
+  return *link_at(network, link).fixed_cca;
+}
+dcn::CcaAdjustor* Scenario::adjustor(int network, int link) {
+  return link_at(network, link).adjustor.get();
+}
+void Scenario::set_traffic_enabled(int network, int link, bool enabled) {
+  link_at(network, link).traffic_enabled = enabled;
+}
+
+int Scenario::link_count(int network) const {
+  assert(network >= 0 && network < network_count());
+  return static_cast<int>(networks_[static_cast<std::size_t>(network)]->links.size());
+}
+
+phy::Mhz Scenario::network_channel(int network) const {
+  assert(network >= 0 && network < network_count());
+  return networks_[static_cast<std::size_t>(network)]->channel;
+}
+
+void Scenario::run(sim::SimTime warmup, sim::SimTime measure) {
+  assert(!ran_ && "Scenario::run is one-shot");
+  ran_ = true;
+  const sim::SimTime window_start = warmup;
+  const sim::SimTime window_end = warmup + measure;
+
+  for (auto& net : networks_) {
+    for (auto& link : net->links) {
+      link->meter.set_window(window_start, window_end);
+      if (link->adjustor != nullptr) link->adjustor->start();
+      if (link->traffic_enabled) {
+        link->sender_mac->set_saturated(
+            mac::TxRequest{link->receiver_id, config_.psdu_bytes});
+      }
+    }
+  }
+
+  // Snapshot counters at the start of the window so results exclude warm-up.
+  scheduler_.schedule_at(window_start, [this] {
+    for (auto& net : networks_) {
+      for (auto& link : net->links) {
+        link->sender_baseline = link->sender_mac->counters();
+        link->receiver_baseline = link->receiver_mac->counters();
+      }
+    }
+  });
+
+  scheduler_.run_until(window_end);
+}
+
+Scenario::NetworkResult Scenario::network_result(int network) const {
+  assert(ran_);
+  assert(network >= 0 && network < network_count());
+  const NetworkRuntime& net = *networks_[static_cast<std::size_t>(network)];
+  NetworkResult result;
+  for (const auto& link : net.links) {
+    LinkResult lr;
+    lr.throughput_pps = link->meter.packets_per_second();
+    lr.sender = window_delta(link->sender_mac->counters(), link->sender_baseline);
+    lr.receiver = window_delta(link->receiver_mac->counters(), link->receiver_baseline);
+    lr.prr = lr.sender.sent == 0
+                 ? 1.0
+                 : static_cast<double>(lr.receiver.received) /
+                       static_cast<double>(lr.sender.sent);
+    result.throughput_pps += lr.throughput_pps;
+    result.links.push_back(std::move(lr));
+  }
+  return result;
+}
+
+std::vector<double> Scenario::network_throughputs() const {
+  std::vector<double> out;
+  out.reserve(networks_.size());
+  for (int n = 0; n < network_count(); ++n) out.push_back(network_result(n).throughput_pps);
+  return out;
+}
+
+double Scenario::overall_throughput() const {
+  double total = 0.0;
+  for (int n = 0; n < network_count(); ++n) total += network_result(n).throughput_pps;
+  return total;
+}
+
+}  // namespace nomc::net

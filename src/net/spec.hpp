@@ -1,0 +1,26 @@
+// Declarative description of a deployment: networks, links, placement.
+//
+// A "network" follows the paper's usage: a group of nodes sharing one
+// channel (each testbed network was 4 MicaZ motes = 2 sender→receiver
+// links). A scenario is a set of networks spread across the band.
+#pragma once
+
+#include <vector>
+
+#include "phy/geometry.hpp"
+#include "phy/units.hpp"
+
+namespace nomc::net {
+
+struct LinkSpec {
+  phy::Vec2 sender_pos;
+  phy::Vec2 receiver_pos;
+  phy::Dbm tx_power{0.0};
+};
+
+struct NetworkSpec {
+  phy::Mhz channel;
+  std::vector<LinkSpec> links;
+};
+
+}  // namespace nomc::net

@@ -1,0 +1,106 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+
+namespace nomc::net {
+namespace {
+
+phy::Dbm random_power(sim::RandomStream& rng, const RandomCaseConfig& config) {
+  return phy::Dbm{rng.uniform(config.min_tx_power.value, config.max_tx_power.value)};
+}
+
+/// A sender/receiver pair with the sender at `anchor` and the receiver a
+/// bounded random offset away (room layouts keep links short; the paper's
+/// links are bench-scale).
+LinkSpec link_near(phy::Vec2 anchor, double max_link_m, sim::RandomStream& rng,
+                   const RandomCaseConfig& config) {
+  const double angle = rng.uniform(0.0, 6.283185307179586);
+  const double d = rng.uniform(0.5 * max_link_m, max_link_m);
+  LinkSpec link;
+  link.sender_pos = anchor;
+  link.receiver_pos = {anchor.x + d * std::cos(angle), anchor.y + d * std::sin(angle)};
+  link.tx_power = random_power(rng, config);
+  return link;
+}
+
+}  // namespace
+
+std::vector<NetworkSpec> bench_row(std::span<const phy::Mhz> channels,
+                                   const BenchRowConfig& config) {
+  assert(config.links_per_network >= 1);
+  std::vector<NetworkSpec> specs;
+  specs.reserve(channels.size());
+  for (std::size_t n = 0; n < channels.size(); ++n) {
+    NetworkSpec spec;
+    spec.channel = channels[n];
+    const double cx = config.network_spacing_m * static_cast<double>(n);
+    for (int l = 0; l < config.links_per_network; ++l) {
+      // Senders straddle the network center along the row; receivers sit one
+      // link-distance off the row so links do not lie on top of each other.
+      const double offset =
+          (static_cast<double>(l) - (config.links_per_network - 1) / 2.0) * config.sender_gap_m;
+      LinkSpec link;
+      link.sender_pos = {cx + offset, 0.0};
+      link.receiver_pos = {cx + offset, config.link_distance_m};
+      link.tx_power = config.tx_power;
+      spec.links.push_back(link);
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<NetworkSpec> case1_dense(std::span<const phy::Mhz> channels,
+                                     sim::RandomStream& rng, const RandomCaseConfig& config) {
+  std::vector<NetworkSpec> specs;
+  specs.reserve(channels.size());
+  for (const phy::Mhz channel : channels) {
+    NetworkSpec spec;
+    spec.channel = channel;
+    for (int l = 0; l < config.links_per_network; ++l) {
+      const phy::Vec2 anchor{rng.uniform(0.0, config.region_m), rng.uniform(0.0, config.region_m)};
+      spec.links.push_back(link_near(anchor, config.link_distance_m, rng, config));
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<NetworkSpec> case2_clustered(std::span<const phy::Mhz> channels,
+                                         sim::RandomStream& rng,
+                                         const RandomCaseConfig& config) {
+  std::vector<NetworkSpec> specs;
+  specs.reserve(channels.size());
+  for (std::size_t n = 0; n < channels.size(); ++n) {
+    NetworkSpec spec;
+    spec.channel = channels[n];
+    // Rooms on a floor-plan grid (up to 3 per corridor), one network each.
+    const phy::Vec2 room{config.room_spacing_m * static_cast<double>(n % 3),
+                         config.room_spacing_m * static_cast<double>(n / 3)};
+    for (int l = 0; l < config.links_per_network; ++l) {
+      const phy::Vec2 anchor{room.x + rng.uniform(0.0, config.region_m),
+                             room.y + rng.uniform(0.0, config.region_m)};
+      spec.links.push_back(link_near(anchor, config.link_distance_m, rng, config));
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<NetworkSpec> case3_random(std::span<const phy::Mhz> channels,
+                                      sim::RandomStream& rng, const RandomCaseConfig& config) {
+  std::vector<NetworkSpec> specs;
+  specs.reserve(channels.size());
+  for (const phy::Mhz channel : channels) {
+    NetworkSpec spec;
+    spec.channel = channel;
+    for (int l = 0; l < config.links_per_network; ++l) {
+      const phy::Vec2 anchor{rng.uniform(0.0, config.field_m), rng.uniform(0.0, config.field_m)};
+      spec.links.push_back(link_near(anchor, config.link_distance_m, rng, config));
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace nomc::net

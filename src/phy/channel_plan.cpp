@@ -1,0 +1,40 @@
+#include "phy/channel_plan.hpp"
+
+#include <cassert>
+
+namespace nomc::phy {
+
+std::vector<Mhz> evenly_spaced(Mhz first_center, Mhz cfd, int count) {
+  assert(count >= 0);
+  assert(cfd.value > 0.0 || count <= 1);
+  std::vector<Mhz> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(Mhz{first_center.value + cfd.value * i});
+  }
+  return out;
+}
+
+std::vector<Mhz> pack_band(Mhz band_start, Mhz band_end, Mhz cfd) {
+  assert(cfd.value > 0.0);
+  assert(band_end >= band_start);
+  std::vector<Mhz> out;
+  for (double f = band_start.value; f <= band_end.value + 1e-9; f += cfd.value) {
+    out.push_back(Mhz{f});
+  }
+  return out;
+}
+
+std::vector<Mhz> zigbee_channels() {
+  std::vector<Mhz> out;
+  out.reserve(16);
+  for (int k = 11; k <= 26; ++k) out.push_back(zigbee_channel(k));
+  return out;
+}
+
+Mhz zigbee_channel(int k) {
+  assert(k >= 11 && k <= 26);
+  return Mhz{2405.0 + 5.0 * (k - 11)};
+}
+
+}  // namespace nomc::phy

@@ -1,0 +1,29 @@
+// Channel plans: how center frequencies are assigned across a spectrum band.
+//
+// The paper's core knob is the channel center frequency distance (CFD).
+// ZigBee's default plan spaces channels 5 MHz apart; the paper packs them at
+// 3 MHz (non-orthogonal) and shows the band carries more traffic.
+#pragma once
+
+#include <vector>
+
+#include "phy/units.hpp"
+
+namespace nomc::phy {
+
+/// `count` channels starting at `first_center`, spaced `cfd` apart.
+/// This mirrors how the paper states its layouts ("6 networks with
+/// CFD=3MHz from 2458MHz").
+[[nodiscard]] std::vector<Mhz> evenly_spaced(Mhz first_center, Mhz cfd, int count);
+
+/// Greedy packing: centers at band_start, band_start+cfd, ... while they fit
+/// inside [band_start, band_end].
+[[nodiscard]] std::vector<Mhz> pack_band(Mhz band_start, Mhz band_end, Mhz cfd);
+
+/// The 16 standard ZigBee channels (11–26) at 2405 + 5·(k−11) MHz.
+[[nodiscard]] std::vector<Mhz> zigbee_channels();
+
+/// Center frequency of ZigBee channel k (11 <= k <= 26).
+[[nodiscard]] Mhz zigbee_channel(int k);
+
+}  // namespace nomc::phy

@@ -1,0 +1,26 @@
+#include "phy/energy.hpp"
+
+namespace nomc::phy {
+
+double EnergyModel::tx_current_ma(Dbm power) const {
+  // CC2420 datasheet, output power vs current consumption (3.0 V):
+  struct Point {
+    double dbm;
+    double ma;
+  };
+  static constexpr Point kTable[] = {
+      {-25.0, 8.5}, {-15.0, 9.9}, {-10.0, 11.0}, {-5.0, 14.0}, {0.0, 17.4},
+  };
+  if (power.value <= kTable[0].dbm) return kTable[0].ma;
+  for (std::size_t i = 1; i < std::size(kTable); ++i) {
+    if (power.value <= kTable[i].dbm) {
+      const Point& lo = kTable[i - 1];
+      const Point& hi = kTable[i];
+      const double t = (power.value - lo.dbm) / (hi.dbm - lo.dbm);
+      return lo.ma + t * (hi.ma - lo.ma);
+    }
+  }
+  return kTable[std::size(kTable) - 1].ma;
+}
+
+}  // namespace nomc::phy

@@ -1,0 +1,21 @@
+// Planar node geometry. Testbed deployments are modelled in 2-D metres.
+#pragma once
+
+#include <cmath>
+
+namespace nomc::phy {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  [[nodiscard]] friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  [[nodiscard]] friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  [[nodiscard]] friend constexpr bool operator==(Vec2 a, Vec2 b) = default;
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+}  // namespace nomc::phy

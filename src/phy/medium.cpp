@@ -1,0 +1,121 @@
+#include "phy/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nomc::phy {
+
+Medium::Medium(MediumConfig config)
+    : config_{std::move(config)},
+      shadowing_{config_.shadowing_sigma_db, config_.seed} {}
+
+NodeId Medium::add_node(Vec2 position) {
+  positions_.push_back(position);
+  return static_cast<NodeId>(positions_.size() - 1);
+}
+
+Vec2 Medium::position(NodeId node) const {
+  assert(node < positions_.size());
+  return positions_[node];
+}
+
+void Medium::set_position(NodeId node, Vec2 position) {
+  assert(node < positions_.size());
+  positions_[node] = position;
+}
+
+void Medium::add_listener(MediumListener* listener) {
+  assert(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void Medium::remove_listener(MediumListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+void Medium::begin_tx(const Frame& frame) {
+  assert(frame.id != 0 && "allocate the frame id through the medium");
+  assert(frame.src < positions_.size());
+  // Notify first: listeners observe the pre-change interference set.
+  for (MediumListener* l : listeners_) l->on_tx_start(frame);
+  active_.push_back(frame);
+}
+
+void Medium::end_tx(FrameId id) {
+  const auto it = std::find_if(active_.begin(), active_.end(),
+                               [id](const Frame& f) { return f.id == id; });
+  assert(it != active_.end() && "end_tx for a frame that is not on the air");
+  const Frame frame = *it;
+  for (MediumListener* l : listeners_) l->on_tx_end(frame);
+  // Re-find: a listener may have started a transmission, invalidating `it`.
+  const auto again = std::find_if(active_.begin(), active_.end(),
+                                  [id](const Frame& f) { return f.id == id; });
+  assert(again != active_.end());
+  active_.erase(again);
+}
+
+Dbm Medium::rss(const Frame& frame, NodeId rx) const {
+  assert(rx < positions_.size());
+  const double d = distance(positions_[frame.src], positions_[rx]);
+  return frame.tx_power - config_.path_loss.loss(d) + shadowing_.sample(frame.id, rx);
+}
+
+MilliWatts Medium::accumulate(NodeId node, Mhz channel, FrameId exclude,
+                              const ChannelRejection& rejection) const {
+  MilliWatts total = to_milliwatts(config_.noise_floor);
+  for (const Frame& f : active_) {
+    if (f.id == exclude) continue;
+    if (f.src == node) continue;  // a node never senses its own signal
+    const Mhz delta = frequency_distance(f.channel, channel);
+    Db attenuation = rejection.attenuation(delta);
+    if (f.emission != nullptr) {
+      // Wideband transmitter: whatever its emission mask puts into the
+      // receiver's passband arrives regardless of the receiver's filter.
+      attenuation = std::min(attenuation, f.emission->attenuation(delta));
+    }
+    total += to_milliwatts(rss(f, node) - attenuation);
+  }
+  return total;
+}
+
+Dbm Medium::sense_energy(NodeId node, Mhz channel) const {
+  // CCA is an energy read: only the analog filter attenuates neighbours.
+  return to_dbm(accumulate(node, channel, /*exclude=*/0, config_.sensing_rejection));
+}
+
+Dbm Medium::interference(NodeId rx, Mhz channel, FrameId exclude) const {
+  // Decoding interference: filter + despreading gain both reject neighbours.
+  return to_dbm(accumulate(rx, channel, exclude, config_.rejection));
+}
+
+bool Medium::carrier_present(NodeId node, Mhz channel, Dbm sensitivity) const {
+  for (const Frame& f : active_) {
+    if (f.src == node) continue;
+    if (!same_channel(f.channel, channel)) continue;
+    if (rss(f, node) >= sensitivity) return true;
+  }
+  return false;
+}
+
+Medium::Overlap Medium::overlap(NodeId rx, Mhz channel, FrameId exclude) const {
+  Overlap result;
+  for (const Frame& f : active_) {
+    if (f.id == exclude || f.src == rx) continue;
+    if (same_channel(f.channel, channel)) {
+      result.co = true;
+    } else {
+      // Only count inter-channel frames whose leaked energy clears the noise
+      // floor; a transmission on the far side of the band is not a collision.
+      const Mhz delta = frequency_distance(f.channel, channel);
+      Db rejection = config_.rejection.attenuation(delta);
+      if (f.emission != nullptr) {
+        rejection = std::min(rejection, f.emission->attenuation(delta));
+      }
+      if (rss(f, rx) - rejection > config_.noise_floor) result.inter = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace nomc::phy

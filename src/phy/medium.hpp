@@ -1,0 +1,118 @@
+// The shared wireless medium.
+//
+// Tracks node positions and the set of in-flight transmissions, and answers
+// the three questions everything above it asks:
+//   * what is frame F's received signal strength at node N (path loss +
+//     per-frame shadowing),
+//   * how much total energy does node N sense on channel C right now
+//     (co-channel plus rejection-attenuated inter-channel leakage plus the
+//     noise floor — exactly what a CCA energy detector integrates), and
+//   * what interference does node N see while decoding frame F on channel C.
+//
+// The medium has no notion of time: radios drive it with begin_tx/end_tx and
+// it notifies listeners *before* mutating the active set, so a listener
+// closing an error-accumulation segment still observes the interference set
+// that was valid up to this instant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "phy/geometry.hpp"
+#include "phy/path_loss.hpp"
+#include "phy/rejection.hpp"
+#include "phy/units.hpp"
+
+namespace nomc::phy {
+
+class MediumListener {
+ public:
+  virtual ~MediumListener() = default;
+  /// A frame is about to start; it is NOT yet in the active set.
+  virtual void on_tx_start(const Frame& frame) = 0;
+  /// A frame is about to end; it is STILL in the active set.
+  virtual void on_tx_end(const Frame& frame) = 0;
+};
+
+struct MediumConfig {
+  LogDistancePathLoss path_loss{};
+  /// Demodulator-path rejection: governs decoding SINR.
+  ChannelRejection rejection = ChannelRejection::cc2420_decode();
+  /// Energy-detector-path rejection: governs CCA sensing.
+  ChannelRejection sensing_rejection = ChannelRejection::cc2420_sensing();
+  Dbm noise_floor{-95.0};
+  double shadowing_sigma_db = 2.5;
+  std::uint64_t seed = 1;
+};
+
+class Medium {
+ public:
+  explicit Medium(MediumConfig config = {});
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Registers a node at `position`; returns its id (dense, starting at 0).
+  NodeId add_node(Vec2 position);
+  [[nodiscard]] std::size_t node_count() const { return positions_.size(); }
+  [[nodiscard]] Vec2 position(NodeId node) const;
+  void set_position(NodeId node, Vec2 position);
+
+  /// Listeners (radios) are notified of every tx start/end.
+  void add_listener(MediumListener* listener);
+  void remove_listener(MediumListener* listener);
+
+  [[nodiscard]] FrameId allocate_frame_id() { return next_frame_id_++; }
+
+  void begin_tx(const Frame& frame);
+  void end_tx(FrameId id);
+
+  /// RSS of `frame` at `rx`: tx power − path loss ± shadowing. Deterministic
+  /// per (frame, rx): every query about the same pair agrees.
+  [[nodiscard]] Dbm rss(const Frame& frame, NodeId rx) const;
+
+  /// Total energy a CCA detector at `node`, tuned to `channel`, reads:
+  /// every active frame not transmitted by `node`, attenuated by the
+  /// rejection curve, summed in mW with the thermal noise floor.
+  [[nodiscard]] Dbm sense_energy(NodeId node, Mhz channel) const;
+
+  /// Interference-plus-noise for decoding frame `exclude` at `rx` on
+  /// `channel`: as sense_energy but also excluding the wanted frame itself.
+  [[nodiscard]] Dbm interference(NodeId rx, Mhz channel, FrameId exclude) const;
+
+  struct Overlap {
+    bool co = false;     ///< a co-channel frame is on the air
+    bool inter = false;  ///< an inter-channel frame with energy above noise
+  };
+  /// What kinds of concurrent transmission (other than `exclude` and `rx`'s
+  /// own) are on the air right now, from `rx`'s perspective on `channel`.
+  [[nodiscard]] Overlap overlap(NodeId rx, Mhz channel, FrameId exclude) const;
+
+  /// Carrier-sense detector: is a CO-CHANNEL transmission (not `node`'s own)
+  /// in progress whose RSS at `node` clears `sensitivity`? This is what the
+  /// CC2420's CCA modes 2/3 report — modulation detection only works on the
+  /// tuned channel, so inter-channel energy is inherently invisible to it
+  /// (the classifier the paper's §VII-C asks for).
+  [[nodiscard]] bool carrier_present(NodeId node, Mhz channel, Dbm sensitivity) const;
+
+  [[nodiscard]] std::size_t active_count() const { return active_.size(); }
+  [[nodiscard]] Dbm noise_floor() const { return config_.noise_floor; }
+  [[nodiscard]] const ChannelRejection& rejection() const { return config_.rejection; }
+  [[nodiscard]] const ChannelRejection& sensing_rejection() const {
+    return config_.sensing_rejection;
+  }
+  [[nodiscard]] const LogDistancePathLoss& path_loss() const { return config_.path_loss; }
+
+ private:
+  [[nodiscard]] MilliWatts accumulate(NodeId node, Mhz channel, FrameId exclude,
+                                      const ChannelRejection& rejection) const;
+
+  MediumConfig config_;
+  ShadowingField shadowing_;
+  std::vector<Vec2> positions_;
+  std::vector<Frame> active_;
+  std::vector<MediumListener*> listeners_;
+  FrameId next_frame_id_ = 1;
+};
+
+}  // namespace nomc::phy

@@ -1,0 +1,32 @@
+// Modulation/demodulation error models.
+//
+// 802.15.4 2.4 GHz O-QPSK with DSSS: the standard analytic BER model
+// (16-ary quasi-orthogonal symbols, as used by Zuniga & Krishnamachari and
+// the ns-2/ns-3 802.15.4 error models). The curve has the steep cliff the
+// paper's testbed shows: essentially error-free above ~3 dB SINR, hopeless
+// below ~-3 dB.
+#pragma once
+
+namespace nomc::phy {
+
+/// Bit error rate of 802.15.4 O-QPSK DSSS at the given SINR (dB).
+[[nodiscard]] double oqpsk_ber(double sinr_db);
+
+/// Packet error rate for `bits` independent bit decisions at rate `ber`.
+[[nodiscard]] double packet_error_rate(double ber, int bits);
+
+/// SINR (dB) at which a packet of `bits` has 50 % PER — the centre of the
+/// reception cliff, used by tests and calibration.
+[[nodiscard]] double sinr_for_per50(int bits);
+
+/// Bit error rate of 802.11b 1 Mb/s DBPSK with 11-chip Barker spreading,
+/// used only by the `wifi` contrast model (paper Fig. 2).
+[[nodiscard]] double dsss_dbpsk_ber(double sinr_db);
+
+/// Demodulator selector for Radio: the 802.15.4 O-QPSK model, or the
+/// 802.11b DBPSK model used by the Fig. 2 contrast experiment.
+enum class BerModel { kOqpsk154, kDsss11b };
+
+[[nodiscard]] double ber(BerModel model, double sinr_db);
+
+}  // namespace nomc::phy

@@ -1,0 +1,38 @@
+#include "phy/path_loss.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "sim/random.hpp"
+
+namespace nomc::phy {
+
+LogDistancePathLoss::LogDistancePathLoss(double exponent, Db loss_at_reference,
+                                         double reference_m)
+    : exponent_{exponent}, loss_at_reference_{loss_at_reference}, reference_m_{reference_m} {
+  assert(exponent_ > 0.0);
+  assert(reference_m_ > 0.0);
+}
+
+Db LogDistancePathLoss::loss(double distance_m) const {
+  // Clamp inside the reference distance: the log-distance model is not valid
+  // in the near field, and co-located test nodes should not produce gain.
+  const double d = distance_m < reference_m_ ? reference_m_ : distance_m;
+  return Db{loss_at_reference_.value + 10.0 * exponent_ * std::log10(d / reference_m_)};
+}
+
+Db ShadowingField::sample(std::uint64_t frame_id, std::uint32_t node) const {
+  if (sigma_db_ <= 0.0) return Db{0.0};
+  // Hash (seed, frame, node) through splitmix64 into two uniforms, then one
+  // Box–Muller draw. Stateless => the realization is stable across queries.
+  sim::SplitMix64 mix{seed_ ^ (frame_id * 0x9e3779b97f4a7c15ULL) ^
+                      (std::uint64_t{node} << 32 | 0x5bf0'3635ULL)};
+  const double u1_raw = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+  const double u1 = u1_raw <= 0.0 ? 0x1.0p-53 : u1_raw;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return Db{sigma_db_ * z};
+}
+
+}  // namespace nomc::phy

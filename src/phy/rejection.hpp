@@ -1,0 +1,71 @@
+// Inter-channel (adjacent-channel) rejection model.
+//
+// A(Δf) is the effective attenuation, in dB, that a receiver/energy-detector
+// tuned to frequency f applies to a transmission centred at f ± Δf. It folds
+// together the transmitter's spectral mask and the receiver's channel filter
+// — the quantity the paper measures implicitly through its CPRR experiment
+// (Fig. 4) and its CCA-backoff observations (Figs. 1, 6-8).
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): we have no radios, so the anchor
+// table below is calibrated such that the simulated testbed reproduces the
+// paper's measured physical-layer characterization:
+//   * CPRR vs CFD staircase of Fig. 4 (100 / 97 / ~70 / <20 % at 4/3/2/1 MHz
+//     with the attacker adjacent to the victim receiver),
+//   * default −77 dBm CCA marginally sensing 3 MHz-away neighbours at
+//     testbed ranges (Figs. 1 and 6),
+//   * ZigBee's 5 MHz spacing sensing as idle (Fig. 19 baseline),
+//   * CC2420 datasheet alternate-channel rejection (~50 dB at ≥10 MHz).
+// The calibration is locked by tests/integration/calibration_test.cpp.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "phy/units.hpp"
+
+namespace nomc::phy {
+
+// Two distinct curves exist because the hardware has two distinct paths:
+//   * DECODE rejection: what the demodulator applies to off-channel energy
+//     while despreading a wanted frame (analog channel filter + DSSS
+//     correlation gain). Governs SINR, hence packet corruption and CPRR.
+//   * SENSING rejection: what the CCA energy detector applies (analog
+//     filter only — an energy read has no despreading). Governs how loudly
+//     a neighbouring channel shows up in CCA, hence backoff behaviour.
+// Sensing rejection is never stronger than decode rejection; the gap is
+// largest at small offsets where the neighbour's main lobe still falls in
+// the analog passband. This is exactly why the paper's Fig. 1 sees CFD=2MHz
+// throughput collapse from *deferral* while Fig. 4's CPRR at 2 MHz is still
+// 70 %: senders hear 2 MHz neighbours loudly, but receivers decode through
+// them most of the time.
+class ChannelRejection {
+ public:
+  struct Anchor {
+    Mhz offset;
+    Db attenuation;
+  };
+
+  /// Calibrated demodulator curve (see file comment).
+  [[nodiscard]] static ChannelRejection cc2420_decode();
+
+  /// Calibrated energy-detector curve (see file comment).
+  [[nodiscard]] static ChannelRejection cc2420_sensing();
+
+  /// Default-constructs the decode curve.
+  ChannelRejection();
+
+  /// Custom curve for ablation studies. Anchors must start at offset 0 and
+  /// be strictly increasing in offset and non-decreasing in attenuation.
+  explicit ChannelRejection(std::vector<Anchor> anchors);
+
+  /// Attenuation applied to energy Δf away from the tuned channel.
+  /// Piecewise-linear between anchors; flat beyond the last anchor.
+  [[nodiscard]] Db attenuation(Mhz delta_f) const;
+
+  [[nodiscard]] std::span<const Anchor> anchors() const { return anchors_; }
+
+ private:
+  std::vector<Anchor> anchors_;
+};
+
+}  // namespace nomc::phy

@@ -1,0 +1,31 @@
+// IEEE 802.15.4 (2.4 GHz O-QPSK) PHY/MAC timing constants.
+//
+// All constants follow the 2003/2006 standard as implemented by the CC2420
+// radio the paper's MicaZ motes carry: 250 kb/s, 62.5 ksymbol/s, 4 bits per
+// symbol.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace nomc::phy {
+
+inline constexpr double kBitRateBps = 250'000.0;
+inline constexpr sim::SimTime kSymbolTime = sim::SimTime::microseconds(16);
+inline constexpr sim::SimTime kBitTime = sim::SimTime::microseconds(4);
+
+/// SHR (4-byte preamble + 1-byte SFD) + 1-byte PHR precede the PSDU.
+inline constexpr int kPhyHeaderBytes = 6;
+
+/// aUnitBackoffPeriod = 20 symbols.
+inline constexpr sim::SimTime kUnitBackoff = sim::SimTime::microseconds(320);
+/// CCA duration = 8 symbols (the CC2420 RSSI_VAL averaging window).
+inline constexpr sim::SimTime kCcaDuration = sim::SimTime::microseconds(128);
+/// aTurnaroundTime = 12 symbols (RX->TX switch after a clear CCA).
+inline constexpr sim::SimTime kTurnaround = sim::SimTime::microseconds(192);
+
+/// Air time of a frame with `psdu_bytes` of MAC-layer payload.
+[[nodiscard]] constexpr sim::SimTime frame_duration(int psdu_bytes) {
+  return (kPhyHeaderBytes + psdu_bytes) * 8 * kBitTime;
+}
+
+}  // namespace nomc::phy

@@ -1,0 +1,83 @@
+// Strong types for RF quantities.
+//
+// Power levels (dBm), power ratios (dB), linear power (mW) and frequency
+// (MHz) are distinct types so the compiler rejects the classic bugs of this
+// domain: adding two absolute levels, mixing linear and log scale, or passing
+// a frequency where an offset is expected.
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace nomc::phy {
+
+/// A power ratio / gain / attenuation in decibels.
+struct Db {
+  double value = 0.0;
+
+  constexpr auto operator<=>(const Db&) const = default;
+  [[nodiscard]] friend constexpr Db operator+(Db a, Db b) { return Db{a.value + b.value}; }
+  [[nodiscard]] friend constexpr Db operator-(Db a, Db b) { return Db{a.value - b.value}; }
+  [[nodiscard]] friend constexpr Db operator-(Db a) { return Db{-a.value}; }
+  [[nodiscard]] friend constexpr Db operator*(double k, Db a) { return Db{k * a.value}; }
+};
+
+/// An absolute power level in dBm.
+struct Dbm {
+  double value = 0.0;
+
+  constexpr auto operator<=>(const Dbm&) const = default;
+  // Level +/- ratio stays a level; level - level is a ratio. Level + level
+  // is intentionally not defined (use mW for combining signals).
+  [[nodiscard]] friend constexpr Dbm operator+(Dbm a, Db b) { return Dbm{a.value + b.value}; }
+  [[nodiscard]] friend constexpr Dbm operator-(Dbm a, Db b) { return Dbm{a.value - b.value}; }
+  [[nodiscard]] friend constexpr Db operator-(Dbm a, Dbm b) { return Db{a.value - b.value}; }
+};
+
+/// Linear power in milliwatts; the only scale on which signals add.
+struct MilliWatts {
+  double value = 0.0;
+
+  constexpr auto operator<=>(const MilliWatts&) const = default;
+  [[nodiscard]] friend constexpr MilliWatts operator+(MilliWatts a, MilliWatts b) {
+    return MilliWatts{a.value + b.value};
+  }
+  MilliWatts& operator+=(MilliWatts o) {
+    value += o.value;
+    return *this;
+  }
+};
+
+[[nodiscard]] inline MilliWatts to_milliwatts(Dbm level) {
+  return MilliWatts{std::pow(10.0, level.value / 10.0)};
+}
+
+[[nodiscard]] inline Dbm to_dbm(MilliWatts power) {
+  // Zero linear power maps to the representable floor rather than -inf so
+  // downstream comparisons stay ordinary.
+  if (power.value <= 0.0) return Dbm{-300.0};
+  return Dbm{10.0 * std::log10(power.value)};
+}
+
+/// A frequency or frequency offset in MHz. 802.15.4's 2.4 GHz band spans
+/// 2405–2480 MHz; offsets (channel distances) reuse the same type.
+struct Mhz {
+  double value = 0.0;
+
+  constexpr auto operator<=>(const Mhz&) const = default;
+  [[nodiscard]] friend constexpr Mhz operator+(Mhz a, Mhz b) { return Mhz{a.value + b.value}; }
+  [[nodiscard]] friend constexpr Mhz operator-(Mhz a, Mhz b) { return Mhz{a.value - b.value}; }
+  [[nodiscard]] friend constexpr Mhz operator*(double k, Mhz a) { return Mhz{k * a.value}; }
+};
+
+[[nodiscard]] inline Mhz frequency_distance(Mhz a, Mhz b) {
+  return Mhz{std::abs(a.value - b.value)};
+}
+
+/// Two frequencies within half an 802.15.4 symbol-rate of each other are the
+/// same logical channel: receivers can lock on, and no rejection applies.
+[[nodiscard]] inline bool same_channel(Mhz a, Mhz b) {
+  return frequency_distance(a, b).value < 0.5;
+}
+
+}  // namespace nomc::phy

@@ -1,0 +1,123 @@
+#include "ppr/ppr.hpp"
+
+#include <cassert>
+
+namespace nomc::ppr {
+
+PprSender::PprSender(mac::CsmaMac& mac, PprConfig config) : mac_{mac}, config_{config} {
+  mac_.add_rx_hook([this](const phy::RxResult& result) { on_rx(result); });
+}
+
+void PprSender::on_rx(const phy::RxResult& result) {
+  if (!result.crc_ok) return;
+  if (result.frame.type != phy::FrameType::kBlockNack) return;
+  if (result.frame.dst != mac_.node()) return;
+
+  // Build the repair: only the blocks the receiver flagged, plus framing.
+  const int dirty = static_cast<int>(result.frame.aux);
+  if (dirty <= 0) return;
+  mac::TxRequest repair;
+  repair.dst = result.frame.src;
+  repair.psdu_bytes = config_.repair_overhead_bytes + dirty * config_.block_size_bytes;
+  repair.fixed_sequence = result.frame.sequence;
+  repair.repair_round = static_cast<std::uint8_t>(result.frame.repair_round + 1);
+  mac_.enqueue_front(repair);
+  ++stats_.repairs_sent;
+  stats_.repair_bytes_sent += static_cast<std::uint64_t>(repair.psdu_bytes);
+}
+
+PprReceiver::PprReceiver(mac::CsmaMac& mac, PprConfig config,
+                         std::function<void(const phy::RxResult&)> on_recovered)
+    : mac_{mac}, config_{config}, on_recovered_{std::move(on_recovered)} {
+  armed_ = !config_.adaptive;
+  mac_.add_rx_hook([this](const phy::RxResult& result) { on_rx(result); });
+}
+
+void PprReceiver::note_outcome(bool failed) {
+  if (!config_.adaptive) return;
+  outcome_window_.push_back(failed);
+  window_failures_ += failed ? 1 : 0;
+  while (static_cast<int>(outcome_window_.size()) > config_.window) {
+    window_failures_ -= outcome_window_.front() ? 1 : 0;
+    outcome_window_.pop_front();
+  }
+  const double rate = outcome_window_.empty()
+                          ? 0.0
+                          : static_cast<double>(window_failures_) /
+                                static_cast<double>(outcome_window_.size());
+  // Hysteresis keeps the gate from flapping at the threshold.
+  if (!armed_ && rate >= config_.arm_threshold) armed_ = true;
+  if (armed_ && rate <= config_.disarm_threshold) armed_ = false;
+}
+
+std::deque<PprReceiver::Partial>::iterator PprReceiver::find_partial(phy::NodeId src,
+                                                                     std::uint8_t sequence) {
+  for (auto it = partials_.begin(); it != partials_.end(); ++it) {
+    if (it->src == src && it->sequence == sequence) return it;
+  }
+  return partials_.end();
+}
+
+void PprReceiver::on_rx(const phy::RxResult& result) {
+  if (result.frame.dst != mac_.node()) return;
+  if (result.frame.type != phy::FrameType::kData) return;
+
+  const phy::NodeId src = result.frame.src;
+  const bool is_repair = result.frame.repair_round > 0;
+
+  if (!is_repair) note_outcome(!result.crc_ok);
+
+  if (result.crc_ok) {
+    if (is_repair) {
+      // An intact repair completes the stored partial.
+      const auto it = find_partial(src, result.frame.sequence);
+      if (it != partials_.end()) {
+        partials_.erase(it);
+        ++stats_.recovered;
+        mac_.scheduler().trace_event(
+            {.category = "ppr", .event = "recovered", .node = mac_.node()});
+        if (on_recovered_) on_recovered_(result);
+      }
+    }
+    return;
+  }
+
+  // CRC failure. Without a block map (or disarmed) there is nothing to do.
+  if (!armed_ || result.block_errors.empty()) return;
+  const int dirty = result.dirty_blocks();
+  if (dirty == 0) return;  // defensive: CRC fail implies >=1 dirty block
+
+  if (is_repair) {
+    const auto it = find_partial(src, result.frame.sequence);
+    if (it == partials_.end()) return;
+    if (++it->rounds >= config_.max_rounds) {
+      partials_.erase(it);
+      ++stats_.abandoned;
+      return;
+    }
+  } else {
+    if (find_partial(src, result.frame.sequence) == partials_.end()) {
+      if (static_cast<int>(partials_.size()) >= config_.max_partials) {
+        partials_.pop_front();  // evict the oldest partial
+        ++stats_.abandoned;
+      }
+      partials_.push_back(Partial{src, result.frame.sequence, 0});
+      ++stats_.partials_stored;
+    }
+  }
+
+  // Feedback: block-NACK with the dirty count, echoing DSN and round.
+  phy::Frame nack;
+  nack.dst = src;
+  nack.psdu_bytes = config_.nack_psdu_bytes;
+  nack.type = phy::FrameType::kBlockNack;
+  nack.sequence = result.frame.sequence;
+  nack.repair_round = result.frame.repair_round;
+  nack.aux = static_cast<std::uint16_t>(dirty);
+  mac_.send_control(nack);
+  ++stats_.nacks_sent;
+  mac_.scheduler().trace_event(
+      {.category = "ppr", .event = "nack", .node = mac_.node(), .value = double(dirty)});
+}
+
+}  // namespace nomc::ppr

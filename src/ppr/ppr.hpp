@@ -1,0 +1,114 @@
+// Partial Packet Recovery (PPR) link layer — the online recovery scheme the
+// paper's §VII-A names as future work, after Jamieson & Balakrishnan
+// (SIGCOMM'07), adapted to 802.15.4 frames.
+//
+// Protocol, per link:
+//   1. The receiver keeps the PHY's per-block corruption map of every
+//      CRC-failed data frame (a "partial packet").
+//   2. It answers with a block-NACK control frame (sent like an ACK: one
+//      turnaround after the data, no CSMA) listing how many blocks died.
+//   3. The sender retransmits ONLY those blocks, as a short repair frame
+//      carrying the original DSN, queued ahead of fresh data.
+//   4. An intact repair completes the packet (delivered as recovered);
+//      a corrupted repair triggers another round, up to max_rounds.
+//
+// The "identify the recover-demand" idea from §VII-A is the adaptive gate:
+// recovery is only armed while the link's observed CRC-failure rate makes
+// it worthwhile, so clean links pay zero overhead.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "mac/csma.hpp"
+
+namespace nomc::ppr {
+
+struct PprConfig {
+  int block_size_bytes = 16;  ///< must match RadioConfig::block_size_bytes
+  int max_rounds = 2;         ///< repair attempts per packet
+  /// MAC+FCS overhead of a repair frame on top of the repaired blocks.
+  int repair_overhead_bytes = 13;
+  /// PSDU of a block-NACK control frame (header + bitmap + FCS).
+  int nack_psdu_bytes = 9;
+
+  /// Partial packets buffered at the receiver awaiting repair. A saturated
+  /// sender keeps new (possibly also failing) frames coming while earlier
+  /// repairs are still in flight, so several partials coexist per link.
+  int max_partials = 8;
+
+  // Adaptive gate (§VII-A "identify the recover-demand"): recovery arms
+  // when the failure fraction over the last `window` deliveries+failures
+  // exceeds `arm_threshold`, and disarms below `disarm_threshold`.
+  bool adaptive = false;
+  int window = 50;
+  double arm_threshold = 0.10;
+  double disarm_threshold = 0.02;
+};
+
+/// Statistics of one PPR-enabled link direction.
+struct PprStats {
+  std::uint64_t partials_stored = 0;   ///< CRC failures captured with a block map
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t repairs_sent = 0;
+  std::uint64_t repair_bytes_sent = 0; ///< PSDU bytes spent on repairs
+  std::uint64_t recovered = 0;         ///< packets completed by a repair
+  std::uint64_t abandoned = 0;         ///< partials dropped after max_rounds
+};
+
+/// Sender side: answers block-NACKs with repair frames.
+class PprSender {
+ public:
+  /// Attaches to `mac` (adds an rx hook). `mac` must outlive this object.
+  PprSender(mac::CsmaMac& mac, PprConfig config = {});
+
+  [[nodiscard]] const PprStats& stats() const { return stats_; }
+
+ private:
+  void on_rx(const phy::RxResult& result);
+
+  mac::CsmaMac& mac_;
+  PprConfig config_;
+  PprStats stats_;
+};
+
+/// Receiver side: stores partial packets, emits block-NACKs, merges repairs.
+class PprReceiver {
+ public:
+  /// Attaches to `mac`. Recovered packets are reported through
+  /// `on_recovered` (in addition to the stats), so throughput meters can
+  /// count them like ordinary deliveries.
+  PprReceiver(mac::CsmaMac& mac, PprConfig config = {},
+              std::function<void(const phy::RxResult&)> on_recovered = {});
+
+  [[nodiscard]] const PprStats& stats() const { return stats_; }
+
+  /// Whether the adaptive gate currently arms recovery (always true when
+  /// config.adaptive is false).
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  struct Partial {
+    phy::NodeId src = phy::kNoNode;
+    std::uint8_t sequence = 0;
+    int rounds = 0;
+  };
+
+  void on_rx(const phy::RxResult& result);
+  void note_outcome(bool failed);
+  [[nodiscard]] std::deque<Partial>::iterator find_partial(phy::NodeId src,
+                                                           std::uint8_t sequence);
+
+  mac::CsmaMac& mac_;
+  PprConfig config_;
+  PprStats stats_;
+  std::function<void(const phy::RxResult&)> on_recovered_;
+  std::deque<Partial> partials_;  // FIFO, capped at config_.max_partials
+  std::deque<bool> outcome_window_;  // true = CRC failure
+  int window_failures_ = 0;
+  bool armed_ = true;
+};
+
+}  // namespace nomc::ppr

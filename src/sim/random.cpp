@@ -1,0 +1,141 @@
+#include "sim/random.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace nomc::sim {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) {
+  SplitMix64 sm{seed};
+  for (auto& word : s_) word = sm.next();
+}
+
+Xoshiro256pp::result_type Xoshiro256pp::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256pp::long_jump() {
+  static constexpr std::uint64_t kJump[] = {0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+                                            0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (void)(*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+RandomStream::RandomStream(std::uint64_t seed, std::uint64_t index)
+    // Mixing the index through splitmix64 before seeding guarantees distinct,
+    // well-separated states even for consecutive indexes.
+    : gen_{SplitMix64{seed ^ (0x9e3779b97f4a7c15ULL * (index + 1))}.next()} {}
+
+double RandomStream::uniform() {
+  return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+double RandomStream::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t RandomStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(gen_());  // full 64-bit range
+  // Rejection sampling for an unbiased draw.
+  const std::uint64_t limit = (~std::uint64_t{0} / range) * range;
+  std::uint64_t value = gen_();
+  while (value >= limit) value = gen_();
+  return lo + static_cast<std::int64_t>(value % range);
+}
+
+bool RandomStream::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double RandomStream::normal() {
+  // Box–Muller; discard the second variate to keep stream state
+  // position-independent of call history length.
+  double u1 = uniform();
+  while (u1 == 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double RandomStream::normal(double mean, double sigma) {
+  return mean + sigma * normal();
+}
+
+double RandomStream::exponential(double rate) {
+  assert(rate > 0.0);
+  double u = uniform();
+  while (u == 0.0) u = uniform();
+  return -std::log(u) / rate;
+}
+
+std::int64_t RandomStream::binomial(std::int64_t n, double p) {
+  assert(n >= 0);
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+
+  const double mean = static_cast<double>(n) * p;
+  if (mean < 32.0) {
+    if (p < 0.05) {
+      // Geometric skipping: jump between successes; O(np) expected time.
+      std::int64_t successes = 0;
+      const double log_q = std::log1p(-p);
+      double position = 0.0;
+      for (;;) {
+        double u = uniform();
+        while (u == 0.0) u = uniform();
+        position += std::floor(std::log(u) / log_q) + 1.0;
+        if (position > static_cast<double>(n)) return successes;
+        ++successes;
+      }
+    }
+    // Direct trials: n is small here because mean < 32 and p >= 0.05.
+    std::int64_t successes = 0;
+    for (std::int64_t i = 0; i < n; ++i) successes += bernoulli(p) ? 1 : 0;
+    return successes;
+  }
+
+  // Large-mean regime: clamped normal approximation. The PHY only reaches
+  // this when a packet is already hopeless (hundreds of expected bit errors),
+  // so approximation error is immaterial; clamping keeps the result valid.
+  const double sigma = std::sqrt(mean * (1.0 - p));
+  const double draw = std::round(normal(mean, sigma));
+  if (draw < 0.0) return 0;
+  if (draw > static_cast<double>(n)) return n;
+  return static_cast<std::int64_t>(draw);
+}
+
+}  // namespace nomc::sim

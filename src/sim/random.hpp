@@ -1,0 +1,96 @@
+// Deterministic random-number generation for reproducible simulations.
+//
+// Every stochastic component of the simulator draws from its own
+// RandomStream, derived from a root seed plus a stream index, so that
+//   * the same (seed, scenario) pair replays bit-identically, and
+//   * adding a new consumer of randomness does not perturb existing streams.
+//
+// The generator is xoshiro256++ (Blackman & Vigna), seeded through
+// splitmix64 as its authors recommend. Both are implemented here from the
+// public-domain reference algorithms; no external dependency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nomc::sim {
+
+/// splitmix64: used only to expand seeds, never as a simulation stream.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_{seed} {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ — fast, high-quality 64-bit generator with 2^256-1 period.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256pp(std::uint64_t seed);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Equivalent to 2^128 calls to operator(); used to derive independent
+  /// sub-streams from one seed.
+  void long_jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// A stream of typed random variates with the distributions the simulator
+/// needs. Distribution algorithms are implemented inline (inverse transform,
+/// Box–Muller, geometric skipping) instead of <random> distributions so that
+/// results are identical across standard libraries.
+class RandomStream {
+ public:
+  /// Stream `index` of root seed `seed`; distinct indexes give statistically
+  /// independent streams.
+  RandomStream(std::uint64_t seed, std::uint64_t index);
+
+  std::uint64_t next_u64() { return gen_(); }
+
+  /// Uniform in [0, 1) with 53 random bits.
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  bool bernoulli(double p);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps replay simple).
+  double normal();
+  double normal(double mean, double sigma);
+
+  double exponential(double rate);
+
+  /// Number of successes in `n` Bernoulli(p) trials.
+  ///
+  /// Exact for the regimes the PHY model uses: geometric skipping when p is
+  /// small (bit errors at workable SINR), direct trials for small n, and a
+  /// clamped normal approximation for the large-n/large-p regime where the
+  /// PHY only needs "essentially everything is corrupt".
+  std::int64_t binomial(std::int64_t n, double p);
+
+ private:
+  Xoshiro256pp gen_;
+};
+
+}  // namespace nomc::sim

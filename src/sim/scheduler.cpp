@@ -1,0 +1,57 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace nomc::sim {
+
+EventId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  assert(fn && "event must be callable");
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  // An id absent from the live set has either run, been cancelled, or never
+  // been issued; all three answer "false". The heap entry stays behind and is
+  // skipped when popped.
+  return live_.erase(id) > 0;
+}
+
+bool Scheduler::step() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the closure must be moved out, so mutate
+    // via const_cast — safe because the entry is popped immediately after.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (live_.erase(entry.id) == 0) continue;  // was cancelled
+    assert(entry.at >= now_);
+    now_ = entry.at;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(SimTime end) {
+  while (!heap_.empty()) {
+    if (live_.find(heap_.top().id) == live_.end()) {
+      heap_.pop();  // drop cancelled entries so the horizon check sees a live one
+      continue;
+    }
+    if (heap_.top().at > end) break;
+    step();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Scheduler::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace nomc::sim

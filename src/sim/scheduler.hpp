@@ -1,0 +1,99 @@
+// Discrete-event scheduler: the heart of the simulator.
+//
+// Events are closures ordered by (time, insertion sequence); ties in time
+// therefore execute in scheduling order, which makes runs deterministic.
+// Cancellation is lazy: cancelled entries stay in the heap and are skipped
+// when popped, which keeps schedule/cancel O(log n) without a secondary
+// index structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace nomc::sim {
+
+/// Opaque handle for cancelling a scheduled event. Id 0 is never issued.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time. Starts at zero; advances only inside run calls.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` after now().
+  EventId schedule_in(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if the event already ran, was
+  /// already cancelled, or the id is invalid/unknown.
+  bool cancel(EventId id);
+
+  /// Execute the earliest pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run events until the queue drains or simulated time would exceed `end`.
+  /// Leaves now() == end when the horizon is hit (so timers can resume).
+  void run_until(SimTime end);
+
+  /// Run until the event queue is empty.
+  void run_all();
+
+  /// Number of pending (scheduled, not yet run, not cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+
+  /// Total events executed so far (telemetry for microbenchmarks/tests).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Attach a trace sink (nullptr detaches). The scheduler does not own it.
+  /// Components reach the tracer through the scheduler they already hold:
+  ///   if (auto* t = scheduler.trace()) t->emit({...});
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] TraceSink* trace() const { return trace_; }
+
+  /// Convenience: emit `record` stamped with now() if a sink is attached.
+  void trace_event(TraceRecord record) {
+    if (trace_ != nullptr) {
+      record.at = now_;
+      trace_->emit(record);
+    }
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO within equal times
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> live_;  // scheduled and not yet run/cancelled
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace nomc::sim

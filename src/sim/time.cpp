@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace nomc::sim {
+
+std::string to_string(SimTime t) {
+  char buf[64];
+  const std::int64_t ns = t.ticks();
+  if (ns % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(ns / 1'000'000'000));
+  } else if (ns % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(ns / 1'000'000));
+  } else if (ns % 1'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(ns / 1'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace nomc::sim

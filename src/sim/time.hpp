@@ -1,0 +1,61 @@
+// Simulated-time representation for the discrete-event engine.
+//
+// All simulated time is held in integral nanosecond ticks so event ordering
+// is exact and replayable; floating point is only used at API edges
+// (seconds in, seconds out).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace nomc::sim {
+
+/// A point in simulated time, or a duration, in nanosecond ticks.
+///
+/// A single type is used for both instants and durations: the engine starts
+/// at SimTime::zero() and only ever moves forward, so the distinction never
+/// pays for its weight in a simulator of this size. Arithmetic is checked in
+/// debug builds via assertions in the scheduler (times must be monotone).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime nanoseconds(std::int64_t ns) { return SimTime{ns}; }
+  [[nodiscard]] static constexpr SimTime microseconds(std::int64_t us) { return SimTime{us * 1'000}; }
+  [[nodiscard]] static constexpr SimTime milliseconds(std::int64_t ms) { return SimTime{ms * 1'000'000}; }
+  [[nodiscard]] static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ticks() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_milliseconds() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double to_microseconds() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime d) { ns_ += d.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime d) { ns_ -= d.ns_; return *this; }
+  [[nodiscard]] friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.ns_ + b.ns_}; }
+  [[nodiscard]] friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.ns_ - b.ns_}; }
+  [[nodiscard]] friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.ns_ * k}; }
+  [[nodiscard]] friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return SimTime{a.ns_ * k}; }
+
+  /// Integral division: how many whole `b` intervals fit into `a`.
+  [[nodiscard]] friend constexpr std::int64_t operator/(SimTime a, SimTime b) { return a.ns_ / b.ns_; }
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+/// Human-readable rendering, e.g. "1.250ms", for traces and test failures.
+[[nodiscard]] std::string to_string(SimTime t);
+
+}  // namespace nomc::sim

@@ -1,0 +1,33 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace nomc::sim {
+
+std::size_t MemoryTraceSink::count(std::string_view category, std::string_view event) const {
+  std::size_t n = 0;
+  for (const TraceRecord& record : records_) {
+    if (!category.empty() && category != record.category) continue;
+    if (!event.empty() && event != record.event) continue;
+    ++n;
+  }
+  return n;
+}
+
+CsvTraceSink::CsvTraceSink(const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) throw std::runtime_error("cannot open trace file: " + path);
+  file_ = file;
+  std::fputs("time_us,category,event,node,value,detail\n", file);
+}
+
+CsvTraceSink::~CsvTraceSink() { std::fclose(static_cast<FILE*>(file_)); }
+
+void CsvTraceSink::emit(const TraceRecord& record) {
+  std::fprintf(static_cast<FILE*>(file_), "%.3f,%s,%s,%u,%.6g,%s\n",
+               record.at.to_microseconds(), record.category, record.event, record.node,
+               record.value, record.detail.c_str());
+}
+
+}  // namespace nomc::sim

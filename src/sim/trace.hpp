@@ -1,0 +1,63 @@
+// Structured event tracing.
+//
+// Every interesting state change in the stack (frame on air, CCA verdict,
+// backoff, threshold move, recovery round) can be emitted as a TraceRecord.
+// Sinks are attached to the Scheduler — the one object every component
+// already holds — so plumbing a tracer through the stack costs nothing when
+// tracing is off (a null check) and no constructor churn when it is on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nomc::sim {
+
+struct TraceRecord {
+  SimTime at;
+  const char* category = "";   ///< e.g. "phy", "mac", "dcn", "ppr"
+  const char* event = "";      ///< e.g. "tx_start", "cca_busy"
+  std::uint32_t node = ~0u;    ///< acting node, or ~0u for none
+  double value = 0.0;          ///< event-specific number (dBm, count, ...)
+  std::string detail;          ///< free-form; empty on hot paths
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceRecord& record) = 0;
+};
+
+/// Buffers records in memory; the test- and analysis-friendly sink.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void emit(const TraceRecord& record) override { records_.push_back(record); }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Count of records matching category/event (either may be empty = any).
+  [[nodiscard]] std::size_t count(std::string_view category, std::string_view event) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Streams records as CSV lines (time_us,category,event,node,value,detail).
+class CsvTraceSink final : public TraceSink {
+ public:
+  /// Writes to `path`; truncates an existing file. Throws on open failure.
+  explicit CsvTraceSink(const std::string& path);
+  ~CsvTraceSink() override;
+  CsvTraceSink(const CsvTraceSink&) = delete;
+  CsvTraceSink& operator=(const CsvTraceSink&) = delete;
+
+  void emit(const TraceRecord& record) override;
+
+ private:
+  void* file_;  // FILE*, kept opaque to avoid <cstdio> in the header
+};
+
+}  // namespace nomc::sim

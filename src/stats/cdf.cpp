@@ -1,0 +1,71 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace nomc::stats {
+
+void CdfAccumulator::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void CdfAccumulator::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double CdfAccumulator::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double CdfAccumulator::quantile(double q) const {
+  assert(!samples_.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(index, samples_.size() - 1)];
+}
+
+double CdfAccumulator::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double CdfAccumulator::min() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double CdfAccumulator::max() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::vector<std::pair<double, double>> CdfAccumulator::curve(int points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points < 2) return out;
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, fraction_at_or_below(x));
+  }
+  return out;
+}
+
+}  // namespace nomc::stats

@@ -1,0 +1,37 @@
+// Empirical CDF accumulator, used for the error-bit-fraction analysis
+// (paper Fig. 29) and for distributional assertions in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nomc::stats {
+
+class CdfAccumulator {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Fraction of samples <= x. 0 for an empty accumulator.
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+
+  /// q-quantile (q in [0,1]) by nearest-rank. Requires at least one sample.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Evenly spaced (x, F(x)) points across [min, max] for plotting/printing.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(int points) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace nomc::stats

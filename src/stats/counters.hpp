@@ -1,0 +1,61 @@
+// Packet-level counters shared by MAC, link, and network statistics.
+#pragma once
+
+#include <cstdint>
+
+namespace nomc::stats {
+
+/// Raw per-link (or per-node) packet accounting. Plain data, no invariant
+/// beyond "derived rates need received <= sent".
+struct PacketCounters {
+  std::uint64_t sent = 0;            ///< frames put on the air
+  std::uint64_t received = 0;        ///< frames delivered intact (CRC pass)
+  std::uint64_t crc_failed = 0;      ///< frames detected but corrupted
+  std::uint64_t missed = 0;          ///< frames never locked onto by receiver
+  std::uint64_t recovered = 0;       ///< CRC failures repaired by recovery
+  std::uint64_t cca_backoffs = 0;    ///< CCA attempts that found the channel busy
+  std::uint64_t cca_failures = 0;    ///< transmissions abandoned after max backoffs
+  std::uint64_t collided = 0;        ///< frames that overlapped another on-air frame
+  std::uint64_t acked = 0;           ///< frames confirmed by an acknowledgement
+  std::uint64_t retransmissions = 0; ///< extra attempts after a missing ACK
+  std::uint64_t retry_drops = 0;     ///< frames abandoned after macMaxFrameRetries
+  std::uint64_t duplicates = 0;      ///< retransmitted frames filtered at the receiver
+  std::uint64_t queue_drops = 0;     ///< frames rejected by a full transmit queue
+
+  PacketCounters& operator+=(const PacketCounters& o) {
+    sent += o.sent;
+    received += o.received;
+    crc_failed += o.crc_failed;
+    missed += o.missed;
+    recovered += o.recovered;
+    cca_backoffs += o.cca_backoffs;
+    cca_failures += o.cca_failures;
+    collided += o.collided;
+    acked += o.acked;
+    retransmissions += o.retransmissions;
+    retry_drops += o.retry_drops;
+    duplicates += o.duplicates;
+    queue_drops += o.queue_drops;
+    return *this;
+  }
+
+  /// Packet receive rate: delivered / sent. 1.0 when nothing was sent
+  /// (an idle link has not failed).
+  [[nodiscard]] double prr() const {
+    return sent == 0 ? 1.0 : static_cast<double>(received) / static_cast<double>(sent);
+  }
+
+  /// Collided-packet receive rate (the paper's CPRR): of the frames that
+  /// overlapped another transmission, how many still arrived intact.
+  [[nodiscard]] double cprr() const {
+    if (collided == 0) return 1.0;
+    // `received` counts all deliveries; collided deliveries are those whose
+    // frame overlapped. Callers that need exact CPRR track it with
+    // collided_received below.
+    return static_cast<double>(collided_received) / static_cast<double>(collided);
+  }
+
+  std::uint64_t collided_received = 0;  ///< collided frames still delivered
+};
+
+}  // namespace nomc::stats

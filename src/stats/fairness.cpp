@@ -1,0 +1,30 @@
+#include "stats/fairness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nomc::stats {
+
+double jain_index(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all zero: degenerate but "fair"
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double relative_spread(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  const double mean = sum / static_cast<double>(values.size());
+  if (mean == 0.0) return 0.0;
+  return (*hi - *lo) / mean;
+}
+
+}  // namespace nomc::stats

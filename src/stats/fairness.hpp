@@ -1,0 +1,16 @@
+// Fairness metrics for multi-network throughput comparisons (paper Table I).
+#pragma once
+
+#include <span>
+
+namespace nomc::stats {
+
+/// Jain's fairness index: (Σx)² / (n·Σx²). 1.0 = perfectly fair,
+/// 1/n = one network starves all others. Returns 1.0 for empty input.
+[[nodiscard]] double jain_index(std::span<const double> values);
+
+/// Max relative spread: (max − min) / mean. The paper reports ~4 % for DCN.
+/// Returns 0.0 for empty input or zero mean.
+[[nodiscard]] double relative_spread(std::span<const double> values);
+
+}  // namespace nomc::stats

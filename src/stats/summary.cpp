@@ -1,0 +1,44 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+#include <iterator>
+
+namespace nomc::stats {
+namespace {
+
+/// Two-sided 97.5 % t quantiles by degrees of freedom; converges to the
+/// normal 1.96 for large n.
+double t_quantile_975(std::size_t dof) {
+  static constexpr double kTable[] = {
+      0.0,   12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,  // 0-9
+      2.228, 2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,  // 10-19
+      2.086, 2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,  // 20-29
+      2.042,
+  };
+  if (dof == 0) return 0.0;
+  if (dof < std::size(kTable)) return kTable[dof];
+  if (dof < 60) return 2.00;
+  if (dof < 120) return 1.98;
+  return 1.96;
+}
+
+}  // namespace
+
+void SummaryStats::add(double sample) {
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double SummaryStats::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double SummaryStats::ci95_half_width() const {
+  if (count_ < 2) return 0.0;
+  return t_quantile_975(count_ - 1) * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+}  // namespace nomc::stats

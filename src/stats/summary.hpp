@@ -1,0 +1,31 @@
+// Summary statistics across repeated trials (mean, stddev, confidence
+// interval), so multi-seed bench results can be reported as mean ± CI
+// instead of bare numbers.
+#pragma once
+
+#include <cstddef>
+
+namespace nomc::stats {
+
+/// Online accumulator (Welford) — numerically stable, O(1) memory.
+class SummaryStats {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+
+  /// Sample standard deviation (n-1 denominator). 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+
+  /// Half-width of the 95 % confidence interval of the mean, using the
+  /// t-distribution for small n. 0 for fewer than 2 samples.
+  [[nodiscard]] double ci95_half_width() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace nomc::stats

@@ -1,0 +1,58 @@
+#include "stats/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace nomc::stats {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_{std::move(headers)} {
+  assert(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  assert(cells.size() <= headers_.size());
+  cells.resize(headers_.size());  // pad short rows with empty cells
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+      if (c + 1 < cells.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_line(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep.append(widths[c], '-');
+    if (c + 1 < headers_.size()) sep += "  ";
+  }
+  out += sep + '\n';
+  for (const auto& row : rows_) out += render_line(row);
+  return out;
+}
+
+void TablePrinter::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace nomc::stats

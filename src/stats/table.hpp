@@ -1,0 +1,32 @@
+// Fixed-width text tables so the bench binaries print paper-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nomc::stats {
+
+/// Minimal column-aligned table. Cells are strings; numeric helpers format
+/// with a fixed precision. Rendering pads every column to its widest cell.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row. Cells beyond the header count are rejected.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimals.
+  [[nodiscard]] static std::string num(double value, int precision = 1);
+
+  /// Renders the table, header + separator + rows, each line newline-ended.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: render straight to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nomc::stats

@@ -1,0 +1,40 @@
+// Windowed throughput measurement in packets per second of simulated time.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace nomc::stats {
+
+/// Counts packet deliveries inside a measurement window. Scenarios open the
+/// window after warm-up (e.g. after DCN's initializing phase) so that steady
+/// state, not transients, is reported — mirroring how the testbed measured.
+class ThroughputMeter {
+ public:
+  /// Window is [start, end); deliveries outside it are ignored.
+  void set_window(sim::SimTime start, sim::SimTime end) {
+    window_start_ = start;
+    window_end_ = end;
+  }
+
+  void record_delivery(sim::SimTime at) {
+    if (at >= window_start_ && at < window_end_) ++count_;
+  }
+
+  [[nodiscard]] std::uint64_t deliveries() const { return count_; }
+
+  /// Packets per second across the window. 0 for an empty/invalid window.
+  [[nodiscard]] double packets_per_second() const {
+    const double span = (window_end_ - window_start_).to_seconds();
+    if (span <= 0.0) return 0.0;
+    return static_cast<double>(count_) / span;
+  }
+
+ private:
+  sim::SimTime window_start_ = sim::SimTime::zero();
+  sim::SimTime window_end_ = sim::SimTime::max();
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace nomc::stats

@@ -1,0 +1,143 @@
+#include "wifi/contrast.hpp"
+
+#include <memory>
+#include <optional>
+
+#include "mac/cca.hpp"
+#include "mac/csma.hpp"
+#include "phy/medium.hpp"
+#include "phy/radio.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/throughput.hpp"
+#include "wifi/interferer.hpp"
+
+namespace nomc::wifi {
+namespace {
+
+/// 802.11b DSSS spectral containment: 22 MHz-wide channels whose energy only
+/// clears ~25 MHz away (hence "orthogonal" channels 1/6/11 are 25 MHz apart).
+/// Shared with the coexistence interferer's emission mask.
+phy::ChannelRejection wifi_mask() { return emission_mask(); }
+
+struct StandardTraits {
+  phy::ChannelRejection rejection;
+  phy::Mhz lock_bandwidth;
+  phy::BerModel ber_model;
+  phy::Dbm cca_threshold;
+};
+
+StandardTraits traits_for(Standard standard) {
+  switch (standard) {
+    case Standard::k80211b:
+      // Lock window of ~3 channel numbers: Mishra et al. observe receivers
+      // decoding packets from 15 MHz away. DCF's carrier sense is modelled
+      // with the 802.11 ED threshold.
+      return {wifi_mask(), phy::Mhz{16.0}, phy::BerModel::kDsss11b, phy::Dbm{-82.0}};
+    case Standard::k802154:
+      return {phy::ChannelRejection{}, phy::Mhz{0.5}, phy::BerModel::kOqpsk154,
+              mac::kZigbeeDefaultCcaThreshold};
+  }
+  return {phy::ChannelRejection{}, phy::Mhz{0.5}, phy::BerModel::kOqpsk154, phy::Dbm{-77.0}};
+}
+
+/// One saturated sender→receiver pair assembled on a shared medium.
+struct LinkParts {
+  phy::NodeId sender_id;
+  phy::NodeId receiver_id;
+  std::unique_ptr<phy::Radio> sender_radio;
+  std::unique_ptr<phy::Radio> receiver_radio;
+  std::unique_ptr<mac::FixedCcaThreshold> cca;
+  std::unique_ptr<mac::CsmaMac> sender_mac;
+  std::unique_ptr<mac::CsmaMac> receiver_mac;
+  stats::ThroughputMeter meter;
+};
+
+std::unique_ptr<LinkParts> make_link(sim::Scheduler& scheduler, phy::Medium& medium,
+                                     const StandardTraits& traits, phy::Mhz channel,
+                                     phy::Vec2 sender_pos, phy::Vec2 receiver_pos,
+                                     phy::Dbm tx_power, std::uint64_t seed,
+                                     std::uint64_t& stream) {
+  auto link = std::make_unique<LinkParts>();
+  link->sender_id = medium.add_node(sender_pos);
+  link->receiver_id = medium.add_node(receiver_pos);
+
+  phy::RadioConfig radio_config;
+  radio_config.channel = channel;
+  radio_config.lock_bandwidth = traits.lock_bandwidth;
+  radio_config.ber_model = traits.ber_model;
+  link->sender_radio = std::make_unique<phy::Radio>(
+      scheduler, medium, sim::RandomStream{seed, stream++}, link->sender_id, radio_config);
+  link->receiver_radio = std::make_unique<phy::Radio>(
+      scheduler, medium, sim::RandomStream{seed, stream++}, link->receiver_id, radio_config);
+
+  link->cca = std::make_unique<mac::FixedCcaThreshold>(traits.cca_threshold);
+  link->sender_mac = std::make_unique<mac::CsmaMac>(scheduler, medium, *link->sender_radio,
+                                                    sim::RandomStream{seed, stream++},
+                                                    *link->cca);
+  link->sender_mac->set_tx_power(tx_power);
+  link->receiver_mac = std::make_unique<mac::CsmaMac>(scheduler, medium, *link->receiver_radio,
+                                                      sim::RandomStream{seed, stream++},
+                                                      *link->cca);
+
+  stats::ThroughputMeter* meter = &link->meter;
+  sim::Scheduler* sched = &scheduler;
+  link->receiver_mac->set_delivery_hook(
+      [meter, sched](const phy::RxResult&) { meter->record_delivery(sched->now()); });
+  return link;
+}
+
+double victim_throughput(Standard standard, const ContrastConfig& config,
+                         std::optional<int> separation) {
+  const StandardTraits traits = traits_for(standard);
+
+  sim::Scheduler scheduler;
+  phy::MediumConfig medium_config;
+  medium_config.rejection = traits.rejection;
+  // The contrast model folds both paths into one curve per standard.
+  medium_config.sensing_rejection = traits.rejection;
+  medium_config.seed = config.seed;
+  phy::Medium medium{medium_config};
+
+  std::uint64_t stream = 0;
+  const phy::Mhz victim_channel{2437.0};
+
+  auto victim = make_link(scheduler, medium, traits, victim_channel, {0.0, 0.0},
+                          {0.0, config.link_distance_m}, config.tx_power, config.seed, stream);
+
+  std::unique_ptr<LinkParts> interferer;
+  if (separation.has_value()) {
+    const phy::Mhz channel =
+        victim_channel + phy::Mhz{config.channel_step.value * static_cast<double>(*separation)};
+    interferer = make_link(scheduler, medium, traits, channel, {config.network_spacing_m, 0.0},
+                           {config.network_spacing_m, config.link_distance_m}, config.tx_power,
+                           config.seed, stream);
+  }
+
+  const sim::SimTime warmup = sim::SimTime::seconds(1.0);
+  const sim::SimTime end = warmup + sim::SimTime::seconds(config.measure_seconds);
+  victim->meter.set_window(warmup, end);
+  victim->sender_mac->set_saturated(mac::TxRequest{victim->receiver_id, 100});
+  if (interferer) {
+    interferer->sender_mac->set_saturated(mac::TxRequest{interferer->receiver_id, 100});
+  }
+  scheduler.run_until(end);
+  return victim->meter.packets_per_second();
+}
+
+}  // namespace
+
+ContrastResult run_contrast(Standard standard, const ContrastConfig& config) {
+  ContrastResult result;
+  result.baseline_pps = victim_throughput(standard, config, std::nullopt);
+  for (int sep = 0; sep <= config.max_separation; ++sep) {
+    ContrastPoint point;
+    point.separation = sep;
+    point.throughput_pps = victim_throughput(standard, config, sep);
+    point.normalized =
+        result.baseline_pps > 0.0 ? point.throughput_pps / result.baseline_pps : 0.0;
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace nomc::wifi

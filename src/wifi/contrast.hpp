@@ -1,0 +1,58 @@
+// The 802.11b vs 802.15.4 "uniqueness" experiment (paper Fig. 2, after
+// Mishra et al., SIGMETRICS'06).
+//
+// Two saturated links; the victim link stays on a fixed channel while the
+// interfering link moves away one channel number at a time. The figure plots
+// the victim's throughput normalized to its isolated-channel value.
+//
+// The standards differ in exactly two modelled ways, and those two produce
+// the paper's contrast:
+//   * Spectral containment: 802.11b's 22 MHz DSSS mask decays slowly (its
+//     channels only clear at 25 MHz separation); 802.15.4's 2 MHz O-QPSK
+//     channels decay fast.
+//   * Lock behaviour: an 802.11b receiver synchronizes to any overlapped-
+//     channel preamble ("forced to decode", losing its own frame); an
+//     802.15.4 receiver never locks off-channel — inter-channel energy is
+//     just noise.
+//
+// Timing uses the 802.15.4 clock for both; the output is normalized, so
+// only the relative airtime bookkeeping matters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/units.hpp"
+
+namespace nomc::wifi {
+
+enum class Standard { k80211b, k802154 };
+
+struct ContrastConfig {
+  /// Channel-number separations to evaluate (x axis of Fig. 2).
+  int max_separation = 10;
+  /// Channel spacing per channel number: 5 MHz for both standards' plans.
+  phy::Mhz channel_step{5.0};
+  double link_distance_m = 2.0;
+  double network_spacing_m = 3.0;
+  phy::Dbm tx_power{0.0};
+  double measure_seconds = 8.0;
+  std::uint64_t seed = 7;
+};
+
+struct ContrastPoint {
+  int separation = 0;                 ///< channel numbers between the links
+  double throughput_pps = 0.0;        ///< victim link deliveries/s
+  double normalized = 0.0;            ///< vs the isolated baseline
+};
+
+/// Victim-link throughput at each separation, plus the isolated baseline at
+/// index 0 of the returned pair.
+struct ContrastResult {
+  double baseline_pps = 0.0;
+  std::vector<ContrastPoint> points;
+};
+
+[[nodiscard]] ContrastResult run_contrast(Standard standard, const ContrastConfig& config = {});
+
+}  // namespace nomc::wifi

@@ -1,0 +1,77 @@
+#include "wifi/interferer.hpp"
+
+#include <cassert>
+
+namespace nomc::wifi {
+
+const phy::ChannelRejection& emission_mask() {
+  static const phy::ChannelRejection mask{{
+      {phy::Mhz{0.0}, phy::Db{0.0}},
+      {phy::Mhz{5.0}, phy::Db{1.0}},
+      {phy::Mhz{10.0}, phy::Db{4.0}},
+      {phy::Mhz{15.0}, phy::Db{10.0}},
+      {phy::Mhz{20.0}, phy::Db{18.0}},
+      {phy::Mhz{25.0}, phy::Db{32.0}},
+      {phy::Mhz{30.0}, phy::Db{45.0}},
+      {phy::Mhz{50.0}, phy::Db{60.0}},
+  }};
+  return mask;
+}
+
+WifiInterferer::WifiInterferer(sim::Scheduler& scheduler, phy::Medium& medium,
+                               phy::Vec2 position, WifiInterfererConfig config)
+    : scheduler_{scheduler},
+      medium_{medium},
+      node_{medium.add_node(position)},
+      config_{config} {
+  assert(config_.burst > sim::SimTime::zero());
+  assert(config_.period > config_.burst);
+}
+
+WifiInterferer::~WifiInterferer() { stop(); }
+
+void WifiInterferer::start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = scheduler_.schedule_in(config_.period, [this] { begin_burst(); });
+}
+
+void WifiInterferer::stop() {
+  running_ = false;
+  if (timer_ != sim::kInvalidEventId) {
+    scheduler_.cancel(timer_);
+    timer_ = sim::kInvalidEventId;
+  }
+  // A burst already on the air ends through its scheduled end event.
+}
+
+void WifiInterferer::begin_burst() {
+  timer_ = sim::kInvalidEventId;
+  if (!running_) return;
+  assert(!on_air_ && "period must exceed burst");
+
+  phy::Frame frame;
+  frame.id = medium_.allocate_frame_id();
+  frame.src = node_;
+  frame.channel = config_.center;
+  frame.tx_power = config_.tx_power;
+  // PSDU is irrelevant for an opaque energy burst; duration is burst length.
+  frame.psdu_bytes = 1;
+  frame.emission = &emission_mask();
+  medium_.begin_tx(frame);
+  on_air_ = true;
+  current_ = frame.id;
+  ++bursts_;
+
+  end_timer_ = scheduler_.schedule_in(config_.burst, [this] {
+    end_timer_ = sim::kInvalidEventId;
+    medium_.end_tx(current_);
+    on_air_ = false;
+    if (running_) {
+      timer_ = scheduler_.schedule_in(config_.period - config_.burst,
+                                      [this] { begin_burst(); });
+    }
+  });
+}
+
+}  // namespace nomc::wifi

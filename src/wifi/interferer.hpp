@@ -1,0 +1,59 @@
+// External wideband interferer: a colocated 802.11 network sharing the
+// 2.4 GHz ISM band with the sensor deployment.
+//
+// The paper's introduction names "interferences caused by other wireless
+// networks" as one reason usable channels are scarce (via Wu et al.'s
+// TMCP). This models it: a transmitter whose frames carry the 802.11b DSSS
+// emission mask, so its energy lands in 802.15.4 receivers/CCAs tens of MHz
+// away — unlike a narrowband 802.15.4 interferer, the victim's channel
+// filter cannot reject the part of the Wi-Fi spectrum that falls in-band.
+#pragma once
+
+#include "phy/medium.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nomc::wifi {
+
+/// The 802.11b 22 MHz DSSS spectral mask (also used by the Fig. 2 model).
+[[nodiscard]] const phy::ChannelRejection& emission_mask();
+
+struct WifiInterfererConfig {
+  phy::Mhz center{2442.0};  ///< 802.11 channel 7
+  phy::Dbm tx_power{15.0};  ///< typical AP EIRP
+  /// Busy/idle cycle: e.g. 2 ms bursts every 10 ms = 20 % duty.
+  sim::SimTime burst = sim::SimTime::milliseconds(2);
+  sim::SimTime period = sim::SimTime::milliseconds(10);
+};
+
+/// Drives the medium directly (Wi-Fi frames are opaque energy to 802.15.4;
+/// no Radio object is needed — nothing here can receive them).
+class WifiInterferer {
+ public:
+  WifiInterferer(sim::Scheduler& scheduler, phy::Medium& medium, phy::Vec2 position,
+                 WifiInterfererConfig config = {});
+  ~WifiInterferer();
+  WifiInterferer(const WifiInterferer&) = delete;
+  WifiInterferer& operator=(const WifiInterferer&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] phy::NodeId node() const { return node_; }
+  [[nodiscard]] std::uint64_t bursts() const { return bursts_; }
+
+ private:
+  void begin_burst();
+
+  sim::Scheduler& scheduler_;
+  phy::Medium& medium_;
+  phy::NodeId node_;
+  WifiInterfererConfig config_;
+  bool running_ = false;
+  bool on_air_ = false;
+  phy::FrameId current_ = 0;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  sim::EventId end_timer_ = sim::kInvalidEventId;
+  std::uint64_t bursts_ = 0;
+};
+
+}  // namespace nomc::wifi

@@ -1,0 +1,108 @@
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nomc::cli {
+namespace {
+
+ArgParser standard_parser() {
+  ArgParser args;
+  args.add_string("scheme", "dcn", "scheme");
+  args.add_double("cfd", 3.0, "cfd");
+  args.add_int("channels", 6, "channels");
+  args.add_flag("verbose", "verbosity");
+  return args;
+}
+
+bool parse(ArgParser& args, std::initializer_list<const char*> argv) {
+  return args.parse(static_cast<int>(argv.size()), std::data(argv));
+}
+
+TEST(Args, DefaultsWhenNothingProvided) {
+  ArgParser args = standard_parser();
+  EXPECT_TRUE(parse(args, {}));
+  EXPECT_EQ(args.get_string("scheme"), "dcn");
+  EXPECT_DOUBLE_EQ(args.get_double("cfd"), 3.0);
+  EXPECT_EQ(args.get_int("channels"), 6);
+  EXPECT_FALSE(args.get_flag("verbose"));
+  EXPECT_FALSE(args.provided("scheme"));
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  ArgParser args = standard_parser();
+  EXPECT_TRUE(parse(args, {"--scheme", "fixed", "--cfd", "2.5", "--channels", "4"}));
+  EXPECT_EQ(args.get_string("scheme"), "fixed");
+  EXPECT_DOUBLE_EQ(args.get_double("cfd"), 2.5);
+  EXPECT_EQ(args.get_int("channels"), 4);
+  EXPECT_TRUE(args.provided("scheme"));
+}
+
+TEST(Args, EqualsSeparatedValues) {
+  ArgParser args = standard_parser();
+  EXPECT_TRUE(parse(args, {"--cfd=5", "--scheme=carrier-sense"}));
+  EXPECT_DOUBLE_EQ(args.get_double("cfd"), 5.0);
+  EXPECT_EQ(args.get_string("scheme"), "carrier-sense");
+}
+
+TEST(Args, NegativeNumbers) {
+  ArgParser args;
+  args.add_double("cca", -77.0, "threshold");
+  EXPECT_TRUE(parse(args, {"--cca", "-55.5"}));
+  EXPECT_DOUBLE_EQ(args.get_double("cca"), -55.5);
+}
+
+TEST(Args, Flags) {
+  ArgParser args = standard_parser();
+  EXPECT_TRUE(parse(args, {"--verbose"}));
+  EXPECT_TRUE(args.get_flag("verbose"));
+}
+
+TEST(Args, FlagRejectsValue) {
+  ArgParser args = standard_parser();
+  EXPECT_FALSE(parse(args, {"--verbose=yes"}));
+  EXPECT_NE(args.error().find("takes no value"), std::string::npos);
+}
+
+TEST(Args, UnknownOptionFails) {
+  ArgParser args = standard_parser();
+  EXPECT_FALSE(parse(args, {"--banana", "1"}));
+  EXPECT_NE(args.error().find("unknown option"), std::string::npos);
+}
+
+TEST(Args, MissingValueFails) {
+  ArgParser args = standard_parser();
+  EXPECT_FALSE(parse(args, {"--cfd"}));
+  EXPECT_NE(args.error().find("missing value"), std::string::npos);
+}
+
+TEST(Args, MalformedNumberFails) {
+  ArgParser args = standard_parser();
+  EXPECT_FALSE(parse(args, {"--cfd", "three"}));
+  EXPECT_FALSE(args.error().empty());
+  ArgParser args2 = standard_parser();
+  EXPECT_FALSE(parse(args2, {"--channels", "4.5"}));
+}
+
+TEST(Args, PositionalArgumentFails) {
+  ArgParser args = standard_parser();
+  EXPECT_FALSE(parse(args, {"dense"}));
+}
+
+TEST(Args, HelpRequested) {
+  ArgParser args = standard_parser();
+  EXPECT_TRUE(parse(args, {"--help"}));
+  EXPECT_TRUE(args.help_requested());
+  const std::string help = args.help("tool");
+  EXPECT_NE(help.find("--scheme"), std::string::npos);
+  EXPECT_NE(help.find("--cfd"), std::string::npos);
+  EXPECT_NE(help.find("usage: tool"), std::string::npos);
+}
+
+TEST(Args, LastValueWins) {
+  ArgParser args = standard_parser();
+  EXPECT_TRUE(parse(args, {"--cfd", "2", "--cfd", "4"}));
+  EXPECT_DOUBLE_EQ(args.get_double("cfd"), 4.0);
+}
+
+}  // namespace
+}  // namespace nomc::cli

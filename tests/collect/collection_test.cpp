@@ -1,0 +1,117 @@
+#include "collect/collection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/channel_plan.hpp"
+
+namespace nomc::collect {
+namespace {
+
+CollectionConfig light_config() {
+  CollectionConfig config;
+  config.nodes_per_tree = 5;
+  config.report_period = sim::SimTime::milliseconds(100);  // well under capacity
+  return config;
+}
+
+TEST(CollectionTree, ParentsFormValidTree) {
+  const auto channels = phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{3.0}, 3);
+  CollectionScenario scenario{channels, light_config(), 5};
+  for (const auto& tree : scenario.trees()) {
+    ASSERT_EQ(tree->nodes().size(), 5u);
+    for (const auto& node : tree->nodes()) {
+      EXPECT_NE(node->parent, phy::kNoNode);
+      EXPECT_NE(node->parent, node->id);
+      EXPECT_GE(node->depth, 1);
+    }
+    // Depths are consistent: a depth-d node's parent is depth d-1 (or sink).
+    for (const auto& node : tree->nodes()) {
+      if (node->depth == 1) continue;
+      bool found = false;
+      for (const auto& other : tree->nodes()) {
+        if (other->id == node->parent) {
+          EXPECT_EQ(other->depth, node->depth - 1);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "relay parent must be another tree node";
+    }
+    EXPECT_GE(tree->max_depth(), 1);
+  }
+}
+
+TEST(CollectionTree, UnderloadCollectsEverythingGenerated) {
+  // Orthogonal spacing for the sanity check: at CFD=3 with the fixed
+  // threshold, access-failure drops exist even underloaded (the paper's
+  // deferral problem — exercised by the benches, not by this test).
+  const auto channels = phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{9.0}, 2);
+  CollectionScenario scenario{channels, light_config(), 7};
+  const double goodput = scenario.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(10.0));
+
+  // 2 trees x 5 nodes x 10 readings/s = 100/s offered.
+  EXPECT_NEAR(goodput, 100.0, 8.0);
+  for (const auto& tree : scenario.trees()) {
+    // Collected (window) is close to generated (whole run) scaled by 10/11.
+    EXPECT_GT(tree->collected(), tree->generated() * 8 / 11);
+  }
+}
+
+TEST(CollectionTree, ForwardingHappensForDeepNodes) {
+  CollectionConfig config = light_config();
+  config.direct_range_m = 3.0;   // force multi-hop
+  config.field_radius_m = 10.0;
+  const auto channels = phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{3.0}, 1);
+  CollectionScenario scenario{channels, config, 11};
+  const auto& tree = *scenario.trees()[0];
+  ASSERT_GT(tree.max_depth(), 1);  // with radius 10 vs range 3 this must hold
+
+  scenario.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(5.0));
+  std::uint64_t forwarded = 0;
+  for (const auto& node : tree.nodes()) forwarded += node->forwarded;
+  EXPECT_GT(forwarded, 50u);
+}
+
+TEST(CollectionTree, AckedHopsRecoverLosses) {
+  // Same deployment with and without per-hop ACKs under moderate load:
+  // acked collection must not be worse.
+  CollectionConfig config = light_config();
+  config.report_period = sim::SimTime::milliseconds(50);
+  const auto channels = phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{3.0}, 2);
+
+  config.acked_hops = false;
+  CollectionScenario plain{channels, config, 3};
+  const double plain_goodput = plain.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(6.0));
+
+  config.acked_hops = true;
+  CollectionScenario acked{channels, config, 3};
+  const double acked_goodput = acked.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(6.0));
+
+  EXPECT_GT(acked_goodput, plain_goodput * 0.9);
+  EXPECT_GT(plain_goodput, 100.0);
+}
+
+TEST(CollectionTree, DcnSchemeRunsAndAdjusts) {
+  CollectionConfig config = light_config();
+  config.scheme = net::Scheme::kDcn;
+  const auto channels = phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{3.0}, 3);
+  CollectionScenario scenario{channels, config, 9};
+  const double goodput = scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(6.0));
+  EXPECT_GT(goodput, 100.0);  // 150/s offered across 3 trees
+  for (const auto& tree : scenario.trees()) {
+    for (const auto& node : tree->nodes()) {
+      ASSERT_NE(node->adjustor, nullptr);
+      EXPECT_EQ(node->adjustor->phase(), dcn::CcaAdjustor::Phase::kUpdating);
+    }
+  }
+}
+
+TEST(CollectionTree, DeterministicGoodput) {
+  const auto channels = phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{3.0}, 2);
+  CollectionScenario a{channels, light_config(), 21};
+  CollectionScenario b{channels, light_config(), 21};
+  EXPECT_EQ(a.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(4.0)),
+            b.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(4.0)));
+}
+
+}  // namespace
+}  // namespace nomc::collect

@@ -1,0 +1,247 @@
+#include "dcn/cca_adjustor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace nomc::dcn {
+namespace {
+
+/// Rig: one radio on a quiet medium; the test drives time and feeds packet
+/// RSSI records directly, and can inject on-air energy to steer the
+/// initializing phase's power sensing.
+class AdjustorTest : public ::testing::Test {
+ protected:
+  AdjustorTest() {
+    phy::MediumConfig config;
+    config.shadowing_sigma_db = 0.0;
+    medium_.emplace(config);
+    self_ = medium_->add_node({0.0, 0.0});
+    emitter_ = medium_->add_node({0.0, 1.0});  // 1 m: RSS = power - 40 dB
+    phy::RadioConfig radio_config;
+    radio_config.channel = phy::Mhz{2460.0};
+    radio_.emplace(scheduler_, *medium_, sim::RandomStream{1, 0}, self_, radio_config);
+  }
+
+  /// Keeps a co-channel carrier of `power` on the air during [from, to] so
+  /// init-phase sensing sees it.
+  void emit_energy(sim::SimTime from, sim::SimTime to, phy::Dbm power) {
+    scheduler_.schedule_at(from, [this, to, power] {
+      phy::Frame frame;
+      frame.id = medium_->allocate_frame_id();
+      frame.src = emitter_;
+      frame.channel = phy::Mhz{2460.0};
+      frame.tx_power = power;
+      frame.psdu_bytes = 1;
+      medium_->begin_tx(frame);
+      scheduler_.schedule_at(to, [this, frame] { medium_->end_tx(frame.id); });
+    });
+  }
+
+  sim::Scheduler scheduler_;
+  std::optional<phy::Medium> medium_;
+  std::optional<phy::Radio> radio_;
+  phy::NodeId self_ = 0;
+  phy::NodeId emitter_ = 0;
+};
+
+TEST_F(AdjustorTest, ConservativeBeforeStart) {
+  CcaAdjustor adjustor{scheduler_, *radio_};
+  EXPECT_EQ(adjustor.phase(), CcaAdjustor::Phase::kNotStarted);
+  EXPECT_EQ(adjustor.threshold().value, -77.0);
+  // Records before start are ignored.
+  adjustor.on_co_channel_packet(phy::Dbm{-30.0});
+  EXPECT_EQ(adjustor.threshold().value, -77.0);
+  EXPECT_EQ(adjustor.update_records(), 0u);
+}
+
+TEST_F(AdjustorTest, ConservativeDuringInitPhase) {
+  CcaAdjustor adjustor{scheduler_, *radio_};
+  adjustor.start();
+  EXPECT_EQ(adjustor.phase(), CcaAdjustor::Phase::kInitializing);
+  adjustor.on_co_channel_packet(phy::Dbm{-30.0});
+  scheduler_.run_until(sim::SimTime::milliseconds(500));
+  // Still inside T_I = 1 s: the ZigBee default holds.
+  EXPECT_EQ(adjustor.threshold().value, -77.0);
+}
+
+TEST_F(AdjustorTest, Equation2PacketRssiWins) {
+  // Eq. 2: CCA_I = min{S..., max{P...}} - margin. Co-channel packets at
+  // -45 dBm, sensed power peaks at -40 dBm (injected carrier): min wins.
+  CcaAdjustor adjustor{scheduler_, *radio_};
+  adjustor.start();
+  emit_energy(sim::SimTime::milliseconds(100), sim::SimTime::milliseconds(200), phy::Dbm{0.0});
+  scheduler_.schedule_at(sim::SimTime::milliseconds(300),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-45.0}); });
+  scheduler_.run_until(sim::SimTime::seconds(1.5));
+
+  EXPECT_EQ(adjustor.phase(), CcaAdjustor::Phase::kUpdating);
+  ASSERT_TRUE(adjustor.init_min_packet_rssi().has_value());
+  EXPECT_EQ(adjustor.init_min_packet_rssi()->value, -45.0);
+  ASSERT_TRUE(adjustor.init_max_sensed().has_value());
+  EXPECT_NEAR(adjustor.init_max_sensed()->value, -40.0, 0.1);
+  EXPECT_NEAR(adjustor.threshold().value, -47.0, 0.01);  // -45 - 2 dB margin
+}
+
+TEST_F(AdjustorTest, Equation2SensedPowerWinsWhenLower) {
+  // Packets are loud (-35 dBm) but the max sensed in-channel power is lower:
+  // the threshold starts at the sensed level (Fig. 12's "gap" behaviour).
+  CcaAdjustor adjustor{scheduler_, *radio_};
+  adjustor.start();
+  emit_energy(sim::SimTime::milliseconds(100), sim::SimTime::milliseconds(200),
+              phy::Dbm{-20.0});  // sensed ≈ -60 dBm
+  scheduler_.schedule_at(sim::SimTime::milliseconds(300),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-35.0}); });
+  scheduler_.run_until(sim::SimTime::seconds(1.5));
+  EXPECT_NEAR(adjustor.threshold().value, -62.0, 0.1);  // -60 - 2 margin
+}
+
+TEST_F(AdjustorTest, NoPacketsFallsBackToSensedPower) {
+  CcaAdjustor adjustor{scheduler_, *radio_};
+  adjustor.start();
+  // Quiet channel: max sensed = noise floor (-95); clamped to min_threshold.
+  scheduler_.run_until(sim::SimTime::seconds(1.5));
+  EXPECT_EQ(adjustor.threshold().value, -91.0);
+  EXPECT_FALSE(adjustor.init_min_packet_rssi().has_value());
+}
+
+TEST_F(AdjustorTest, CaseOneLowersImmediately) {
+  CcaAdjustor adjustor{scheduler_, *radio_};
+  adjustor.start();
+  // Keep the channel non-quiet during init so Eq. 2's max-P term does not
+  // floor the initial threshold.
+  emit_energy(sim::SimTime::milliseconds(50), sim::SimTime::milliseconds(900), phy::Dbm{0.0});
+  scheduler_.schedule_at(sim::SimTime::milliseconds(100),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-40.0}); });
+  scheduler_.run_until(sim::SimTime::seconds(1.5));
+  EXPECT_NEAR(adjustor.threshold().value, -42.0, 0.01);
+
+  // A weaker co-channel neighbour appears: Eq. 3 drops the threshold now.
+  adjustor.on_co_channel_packet(phy::Dbm{-60.0});
+  EXPECT_NEAR(adjustor.threshold().value, -62.0, 0.01);
+}
+
+TEST_F(AdjustorTest, CaseOneIgnoresStrongerPackets) {
+  CcaAdjustor adjustor{scheduler_, *radio_};
+  adjustor.start();
+  emit_energy(sim::SimTime::milliseconds(50), sim::SimTime::milliseconds(900), phy::Dbm{0.0});
+  scheduler_.schedule_at(sim::SimTime::milliseconds(100),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-60.0}); });
+  scheduler_.run_until(sim::SimTime::seconds(1.5));
+  const double before = adjustor.threshold().value;
+  adjustor.on_co_channel_packet(phy::Dbm{-30.0});  // stronger: no Case-I action
+  EXPECT_EQ(adjustor.threshold().value, before);
+}
+
+TEST_F(AdjustorTest, CaseTwoRaisesAfterQuietWindow) {
+  CcaAdjustor adjustor{scheduler_, *radio_};
+  adjustor.start();
+  emit_energy(sim::SimTime::milliseconds(50), sim::SimTime::milliseconds(900), phy::Dbm{0.0});
+  scheduler_.schedule_at(sim::SimTime::milliseconds(100),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-70.0}); });
+  scheduler_.run_until(sim::SimTime::seconds(1.5));
+  EXPECT_NEAR(adjustor.threshold().value, -72.0, 0.01);
+
+  // The weak neighbour leaves; only a strong one keeps talking. After T_U
+  // with no Case-I lowering, Eq. 4 re-bases on the recent minimum.
+  scheduler_.schedule_at(sim::SimTime::seconds(2.0),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-40.0}); });
+  scheduler_.schedule_at(sim::SimTime::seconds(4.0),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-40.0}); });
+  scheduler_.run_until(sim::SimTime::seconds(6.0));
+  EXPECT_NEAR(adjustor.threshold().value, -42.0, 0.01);
+}
+
+TEST_F(AdjustorTest, CaseTwoNeedsRecentRecords) {
+  CcaAdjustor adjustor{scheduler_, *radio_};
+  adjustor.start();
+  emit_energy(sim::SimTime::milliseconds(50), sim::SimTime::milliseconds(900), phy::Dbm{0.0});
+  scheduler_.schedule_at(sim::SimTime::milliseconds(100),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-70.0}); });
+  scheduler_.run_until(sim::SimTime::seconds(1.5));
+  // Total silence afterwards: no records in the last T_U, threshold holds.
+  scheduler_.run_until(sim::SimTime::seconds(10.0));
+  EXPECT_NEAR(adjustor.threshold().value, -72.0, 0.01);
+  EXPECT_EQ(adjustor.update_records(), 0u);  // pruned
+}
+
+TEST_F(AdjustorTest, ClampsToConfiguredBounds) {
+  DcnConfig config;
+  config.safety_margin = phy::Db{2.0};
+  CcaAdjustor adjustor{scheduler_, *radio_, config};
+  adjustor.start();
+  // A +32 dBm carrier at 1 m senses at -8 dBm; with -5 dBm packets, Eq. 2
+  // would land at -10 dBm — above max_threshold, so the clamp engages.
+  emit_energy(sim::SimTime::milliseconds(50), sim::SimTime::milliseconds(900), phy::Dbm{32.0});
+  scheduler_.schedule_at(sim::SimTime::milliseconds(100),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-5.0}); });
+  scheduler_.run_until(sim::SimTime::seconds(1.5));
+  EXPECT_EQ(adjustor.threshold().value, config.max_threshold.value);
+
+  adjustor.on_co_channel_packet(phy::Dbm{-120.0});
+  EXPECT_EQ(adjustor.threshold().value, config.min_threshold.value);
+}
+
+TEST_F(AdjustorTest, CustomTimingConfig) {
+  DcnConfig config;
+  config.t_init = sim::SimTime::milliseconds(200);
+  config.t_update = sim::SimTime::seconds(1.0);
+  CcaAdjustor adjustor{scheduler_, *radio_, config};
+  adjustor.start();
+  emit_energy(sim::SimTime::milliseconds(20), sim::SimTime::milliseconds(180), phy::Dbm{0.0});
+  scheduler_.schedule_at(sim::SimTime::milliseconds(50),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-50.0}); });
+  scheduler_.run_until(sim::SimTime::milliseconds(300));
+  EXPECT_EQ(adjustor.phase(), CcaAdjustor::Phase::kUpdating);
+  EXPECT_NEAR(adjustor.threshold().value, -52.0, 0.01);
+
+  // Case II with the shorter window: raise within ~2 s.
+  scheduler_.schedule_at(sim::SimTime::milliseconds(400),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-45.0}); });
+  scheduler_.schedule_at(sim::SimTime::milliseconds(1500),
+                         [&] { adjustor.on_co_channel_packet(phy::Dbm{-45.0}); });
+  scheduler_.run_until(sim::SimTime::seconds(3.0));
+  EXPECT_NEAR(adjustor.threshold().value, -47.0, 0.01);
+}
+
+/// Property sweep: whatever margin is configured, the settled threshold sits
+/// exactly margin below the weakest recent co-channel RSSI (within clamps).
+class MarginSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MarginSweep, ThresholdTracksMinRssiMinusMargin) {
+  sim::Scheduler scheduler;
+  phy::MediumConfig mc;
+  mc.shadowing_sigma_db = 0.0;
+  phy::Medium medium{mc};
+  const phy::NodeId self = medium.add_node({0.0, 0.0});
+  const phy::NodeId emitter = medium.add_node({0.0, 1.0});
+  phy::RadioConfig rc;
+  rc.channel = phy::Mhz{2460.0};
+  phy::Radio radio{scheduler, medium, sim::RandomStream{1, 0}, self, rc};
+
+  DcnConfig config;
+  config.safety_margin = phy::Db{GetParam()};
+  CcaAdjustor adjustor{scheduler, radio, config};
+  adjustor.start();
+  // Non-quiet channel during init (see the fixture's emit_energy rationale).
+  scheduler.schedule_at(sim::SimTime::milliseconds(50), [&] {
+    phy::Frame carrier;
+    carrier.id = medium.allocate_frame_id();
+    carrier.src = emitter;
+    carrier.channel = phy::Mhz{2460.0};
+    carrier.tx_power = phy::Dbm{0.0};
+    carrier.psdu_bytes = 1;
+    medium.begin_tx(carrier);
+    scheduler.schedule_at(sim::SimTime::milliseconds(900),
+                          [&medium, carrier] { medium.end_tx(carrier.id); });
+  });
+  scheduler.schedule_at(sim::SimTime::milliseconds(100),
+                        [&] { adjustor.on_co_channel_packet(phy::Dbm{-55.0}); });
+  scheduler.run_until(sim::SimTime::seconds(1.5));
+  EXPECT_NEAR(adjustor.threshold().value, -55.0 - GetParam(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Margins, MarginSweep, ::testing::Values(0.0, 1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace nomc::dcn

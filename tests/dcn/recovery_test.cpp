@@ -1,0 +1,58 @@
+#include "dcn/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nomc::dcn {
+namespace {
+
+phy::RxResult make_rx(bool crc_ok, double error_fraction) {
+  phy::RxResult result;
+  result.frame.psdu_bytes = 100;
+  result.crc_ok = crc_ok;
+  result.error_fraction = error_fraction;
+  result.bit_errors = static_cast<int>(error_fraction * 800);
+  return result;
+}
+
+TEST(Recovery, CountsIntactSeparately) {
+  RecoveryAnalyzer analyzer;
+  analyzer.on_rx(make_rx(true, 0.0));
+  analyzer.on_rx(make_rx(true, 0.0));
+  EXPECT_EQ(analyzer.intact(), 2u);
+  EXPECT_EQ(analyzer.crc_failed(), 0u);
+  EXPECT_EQ(analyzer.recoverable(), 0u);
+  EXPECT_EQ(analyzer.with_recovery(), 2u);
+  EXPECT_TRUE(analyzer.error_fraction_cdf().empty());
+}
+
+TEST(Recovery, ClassifiesByErrorFraction) {
+  RecoveryAnalyzer analyzer;  // default threshold 10 %
+  analyzer.on_rx(make_rx(false, 0.05));  // recoverable
+  analyzer.on_rx(make_rx(false, 0.10));  // boundary: recoverable
+  analyzer.on_rx(make_rx(false, 0.30));  // beyond repair
+  EXPECT_EQ(analyzer.crc_failed(), 3u);
+  EXPECT_EQ(analyzer.recoverable(), 2u);
+  EXPECT_EQ(analyzer.with_recovery(), 2u);
+}
+
+TEST(Recovery, CustomThreshold) {
+  RecoveryAnalyzer analyzer{RecoveryConfig{0.02}};
+  analyzer.on_rx(make_rx(false, 0.01));
+  analyzer.on_rx(make_rx(false, 0.05));
+  EXPECT_EQ(analyzer.recoverable(), 1u);
+  EXPECT_EQ(analyzer.config().max_error_fraction, 0.02);
+}
+
+TEST(Recovery, CdfAccumulatesFailuresOnly) {
+  RecoveryAnalyzer analyzer;
+  analyzer.on_rx(make_rx(true, 0.0));
+  analyzer.on_rx(make_rx(false, 0.05));
+  analyzer.on_rx(make_rx(false, 0.50));
+  const auto& cdf = analyzer.error_fraction_cdf();
+  EXPECT_EQ(cdf.count(), 2u);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.10), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace nomc::dcn

@@ -1,0 +1,109 @@
+// End-to-end locks for the CCA-threshold analysis of §IV (Figs. 6-10):
+// relaxing the threshold against inter-channel interference is free
+// throughput; relaxing past the co-channel floor is ruinous.
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+
+namespace nomc {
+namespace {
+
+/// Fig. 5 rig: one victim link (2 m) surrounded by interferer networks on
+/// ±3 and ±6 MHz at 2.2 m. Optionally co-channel links as in Fig. 8.
+struct VictimRun {
+  double sent_pps = 0.0;
+  double received_pps = 0.0;
+  double prr = 1.0;
+};
+
+VictimRun run_victim(double threshold_dbm, int cochannel_links, phy::Dbm victim_power,
+                     std::uint64_t seed = 3) {
+  net::ScenarioConfig config;
+  config.seed = seed;
+  net::Scenario scenario{config};
+
+  const phy::Mhz victim_channel{2464.0};
+  const int victim = scenario.add_network(victim_channel, net::Scheme::kFixedCca);
+  net::LinkSpec link;
+  link.sender_pos = {0.0, 0.0};
+  link.receiver_pos = {0.0, 2.0};
+  link.tx_power = victim_power;
+  scenario.add_link(victim, link);
+  scenario.fixed_cca(victim, 0).set(phy::Dbm{threshold_dbm});
+
+  for (int i = 0; i < cochannel_links; ++i) {
+    const int n = scenario.add_network(victim_channel, net::Scheme::kFixedCca);
+    net::LinkSpec co;
+    co.sender_pos = {1.8 * std::cos(2.1 * (i + 1)), 1.8 * std::sin(2.1 * (i + 1))};
+    co.receiver_pos = {co.sender_pos.x, co.sender_pos.y + 2.0};
+    co.tx_power = phy::Dbm{0.0};
+    scenario.add_link(n, co);
+  }
+
+  const struct {
+    double dx, dy, df;
+  } interferers[] = {{2.2, 0, 3}, {-2.2, 0, -3}, {0, 2.2, 6}, {0, -2.2, -6}};
+  for (const auto& it : interferers) {
+    const int n = scenario.add_network(victim_channel + phy::Mhz{it.df}, net::Scheme::kFixedCca);
+    for (int l = 0; l < 2; ++l) {
+      net::LinkSpec i_link;
+      i_link.sender_pos = {it.dx + 0.5 * l, it.dy};
+      i_link.receiver_pos = {it.dx + 0.5 * l, it.dy + 2.0};
+      i_link.tx_power = phy::Dbm{0.0};
+      scenario.add_link(n, i_link);
+    }
+  }
+
+  scenario.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(5.0));
+  const auto result = scenario.network_result(victim);
+  return VictimRun{static_cast<double>(result.links[0].sender.sent) / 5.0,
+                   result.links[0].throughput_pps, result.links[0].prr};
+}
+
+TEST(CcaRelaxation, RelaxingHelpsAgainstInterChannelOnly) {
+  // Fig. 6: conservative -> default -> relaxed is monotone improving, and
+  // PRR stays ~100 % throughout (inter-channel interference is tolerable).
+  const VictimRun conservative = run_victim(-85.0, 0, phy::Dbm{0.0});
+  const VictimRun standard = run_victim(-77.0, 0, phy::Dbm{0.0});
+  const VictimRun relaxed = run_victim(-55.0, 0, phy::Dbm{0.0});
+  EXPECT_LT(conservative.received_pps, standard.received_pps);
+  EXPECT_LT(standard.received_pps, relaxed.received_pps * 0.95);
+  EXPECT_GT(conservative.prr, 0.97);
+  EXPECT_GT(standard.prr, 0.97);
+  EXPECT_GT(relaxed.prr, 0.97);
+  // Fully relaxed, the link reaches its isolated saturation rate.
+  EXPECT_GT(relaxed.received_pps, 180.0);
+}
+
+TEST(CcaRelaxation, OverRelaxingIntoCoChannelCollapsesPrr) {
+  // Fig. 8: with co-channel competitors (~ -47 dBm at the victim sender),
+  // a threshold above their RSS lets the victim transmit over them — sent
+  // soars, PRR collapses.
+  const VictimRun safe = run_victim(-55.0, 3, phy::Dbm{0.0});
+  const VictimRun reckless = run_victim(-30.0, 3, phy::Dbm{0.0});
+  EXPECT_GT(reckless.sent_pps, safe.sent_pps * 1.3);
+  EXPECT_LT(reckless.prr, 0.75);
+  EXPECT_GT(safe.prr, 0.80);
+}
+
+TEST(CcaRelaxation, WeakLinkStillGainsButPrrSuffers) {
+  // Figs. 9-10: a -22 dBm victim against 0 dBm interferers still gains from
+  // relaxation with PRR above ~80 %; at -33 dBm the PRR degrades badly.
+  const VictimRun weak = run_victim(-55.0, 0, phy::Dbm{-22.0});
+  EXPECT_GT(weak.prr, 0.80);
+  const VictimRun very_weak = run_victim(-55.0, 0, phy::Dbm{-33.0});
+  EXPECT_LT(very_weak.prr, 0.60);
+  // Relaxation still beats the conservative setting even at -33 dBm.
+  const VictimRun very_weak_conservative = run_victim(-85.0, 0, phy::Dbm{-33.0});
+  EXPECT_GT(very_weak.received_pps, very_weak_conservative.received_pps);
+}
+
+TEST(CcaRelaxation, ThresholdBelowNoiseFloorDeadlocks) {
+  // A threshold under the noise floor reads busy forever: zero throughput.
+  // (This is why DcnConfig::min_threshold clamps above the floor.)
+  const VictimRun dead = run_victim(-100.0, 0, phy::Dbm{0.0});
+  EXPECT_EQ(dead.sent_pps, 0.0);
+}
+
+}  // namespace
+}  // namespace nomc

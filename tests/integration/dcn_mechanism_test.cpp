@@ -1,0 +1,126 @@
+// Mechanism-level locks for DCN's Fig. 11-12 behaviour: where the threshold
+// settles relative to the interference landscape, end to end.
+#include <gtest/gtest.h>
+
+#include "mac/traffic.hpp"
+#include "net/scenario.hpp"
+#include "net/topology.hpp"
+#include "phy/channel_plan.hpp"
+
+namespace nomc {
+namespace {
+
+/// Two networks 3 MHz apart; the DCN network's senders must settle their
+/// thresholds INSIDE the gap between their co-channel partner's RSSI
+/// (above) and the neighbouring channel's leakage (below) — Fig. 12's
+/// "separated interference" picture.
+TEST(DcnMechanism, ThresholdLandsInTheGap) {
+  net::ScenarioConfig config;
+  config.seed = 19;
+  config.medium.shadowing_sigma_db = 0.0;  // crisp landscape for the check
+  net::Scenario scenario{config};
+
+  const int dcn_net = scenario.add_network(phy::Mhz{2460.0}, net::Scheme::kDcn);
+  net::LinkSpec a;
+  a.sender_pos = {0.0, 0.0};
+  a.receiver_pos = {0.0, 2.0};
+  scenario.add_link(dcn_net, a);
+  net::LinkSpec b;
+  b.sender_pos = {1.0, 0.0};
+  b.receiver_pos = {1.0, 2.0};
+  scenario.add_link(dcn_net, b);
+
+  const int neighbour = scenario.add_network(phy::Mhz{2463.0}, net::Scheme::kFixedCca);
+  net::LinkSpec c;
+  c.sender_pos = {3.0, 0.0};
+  c.receiver_pos = {3.0, 2.0};
+  scenario.add_link(neighbour, c);
+  net::LinkSpec d;
+  d.sender_pos = {4.0, 0.0};
+  d.receiver_pos = {4.0, 2.0};
+  scenario.add_link(neighbour, d);
+
+  scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(4.0));
+
+  // Landscape at sender A (node at origin): partner B is 1 m away at 0 dBm
+  // => co-channel RSSI = -40 dBm. The neighbour network's closest sender is
+  // 3 m away on +3 MHz => sensed leak = -50.5 - 30 = -80.5 dBm.
+  const double threshold = scenario.adjustor(dcn_net, 0)->threshold().value;
+  EXPECT_LT(threshold, -40.0);  // strictly below the co-channel interferer
+  EXPECT_GT(threshold, -60.0);  // but relaxed far above the leak
+  // And the design goal follows: inter-channel energy no longer defers A.
+  const auto result = scenario.network_result(dcn_net);
+  EXPECT_GT(result.throughput_pps, 180.0);
+}
+
+/// Eq. 3 end-to-end: when a weak co-channel link joins a running DCN
+/// network, thresholds drop to protect it within the update machinery.
+TEST(DcnMechanism, WeakJoinerLowersThresholds) {
+  net::ScenarioConfig config;
+  config.seed = 23;
+  config.medium.shadowing_sigma_db = 0.0;
+  net::Scenario scenario{config};
+
+  const int n = scenario.add_network(phy::Mhz{2460.0}, net::Scheme::kDcn);
+  net::LinkSpec a;
+  a.sender_pos = {0.0, 0.0};
+  a.receiver_pos = {0.0, 2.0};
+  scenario.add_link(n, a);
+  net::LinkSpec b;
+  b.sender_pos = {1.0, 0.0};
+  b.receiver_pos = {1.0, 2.0};
+  scenario.add_link(n, b);
+  // The weak joiner: far away AND low power, silent during warm-up.
+  net::LinkSpec weak;
+  weak.sender_pos = {14.0, 0.0};
+  weak.receiver_pos = {14.0, 2.0};
+  weak.tx_power = phy::Dbm{-10.0};
+  scenario.add_link(n, weak);
+
+  // Links A and B report periodically rather than saturating: a saturated
+  // overhearer almost never decodes a -75 dBm neighbour through its
+  // partner's -40 dBm traffic — DCN needs idle gaps to listen in (a real
+  // deployment has them; the paper's testbed traffic did too during
+  // association). The weak link comes up mid-run.
+  for (int l = 0; l < 3; ++l) scenario.set_traffic_enabled(n, l, false);
+  mac::PeriodicSource source_a{scenario.scheduler(), scenario.sender_mac(n, 0)};
+  mac::PeriodicSource source_b{scenario.scheduler(), scenario.sender_mac(n, 1)};
+  source_a.start(mac::TxRequest{scenario.receiver_radio(n, 0).node(), 100},
+                 sim::SimTime::milliseconds(25));
+  source_b.start(mac::TxRequest{scenario.receiver_radio(n, 1).node(), 100},
+                 sim::SimTime::milliseconds(25));
+  mac::CsmaMac* weak_mac = &scenario.sender_mac(n, 2);
+  const phy::NodeId weak_dst = scenario.receiver_radio(n, 2).node();
+  scenario.scheduler().schedule_at(sim::SimTime::seconds(3.0), [weak_mac, weak_dst] {
+    weak_mac->set_saturated(mac::TxRequest{weak_dst, 100});
+  });
+  scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(6.0));
+
+  // Sender A overhears the weak joiner at -10 dBm - PL(14 m) ≈ -75.2 dBm;
+  // Eq. 3 must have pulled its threshold below that (margin 2 dB).
+  const double threshold = scenario.adjustor(n, 0)->threshold().value;
+  EXPECT_LT(threshold, -75.0);
+  EXPECT_GT(threshold, -85.0);
+}
+
+/// The conservative start: before and during the initializing phase the
+/// network behaves exactly like the fixed design (no early aggression).
+TEST(DcnMechanism, InitPhaseMatchesFixedDesign) {
+  auto run_prefix = [](net::Scheme scheme) {
+    net::ScenarioConfig config;
+    config.seed = 29;
+    net::Scenario scenario{config};
+    const auto channels = phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{3.0}, 3);
+    net::RandomCaseConfig topology = net::RandomCaseConfig{}.with_fixed_power(phy::Dbm{0.0});
+    sim::RandomStream placement{29, 999};
+    scenario.add_networks(net::case1_dense(channels, placement, topology), scheme);
+    // Measure only inside T_I = 1 s: the adjustor must still be holding the
+    // ZigBee default, so both schemes see identical conditions.
+    scenario.run(sim::SimTime::zero(), sim::SimTime::seconds(0.9));
+    return scenario.network_throughputs();
+  };
+  EXPECT_EQ(run_prefix(net::Scheme::kDcn), run_prefix(net::Scheme::kFixedCca));
+}
+
+}  // namespace
+}  // namespace nomc

@@ -1,0 +1,130 @@
+// CCA-mode semantics (CC2420 modes 1/2/3): the seam behind the §VII-C
+// carrier-sense classifier extension.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "mac/attacker.hpp"
+#include "mac/cca.hpp"
+#include "mac/csma.hpp"
+
+namespace nomc::mac {
+namespace {
+
+/// A sender whose CCA mode is under test, plus a co-channel and an
+/// inter-channel (3 MHz) interferer that can be blasted independently.
+class CcaModeTest : public ::testing::Test {
+ protected:
+  CcaModeTest() {
+    phy::MediumConfig config;
+    config.shadowing_sigma_db = 0.0;
+    medium_.emplace(config);
+    sender_id_ = medium_->add_node({0.0, 0.0});
+    receiver_id_ = medium_->add_node({0.0, 2.0});
+    co_id_ = medium_->add_node({1.0, 0.0});
+    inter_id_ = medium_->add_node({1.0, 1.0});
+
+    phy::RadioConfig on_channel;
+    on_channel.channel = phy::Mhz{2460.0};
+    phy::RadioConfig off_channel;
+    off_channel.channel = phy::Mhz{2463.0};
+    sender_radio_.emplace(scheduler_, *medium_, sim::RandomStream{1, 0}, sender_id_,
+                          on_channel);
+    receiver_radio_.emplace(scheduler_, *medium_, sim::RandomStream{1, 1}, receiver_id_,
+                            on_channel);
+    co_radio_.emplace(scheduler_, *medium_, sim::RandomStream{1, 2}, co_id_, on_channel);
+    inter_radio_.emplace(scheduler_, *medium_, sim::RandomStream{1, 3}, inter_id_,
+                         off_channel);
+    co_mac_.emplace(scheduler_, *medium_, *co_radio_);
+    inter_mac_.emplace(scheduler_, *medium_, *inter_radio_);
+  }
+
+  std::uint64_t sent_in_two_seconds(CcaMode mode, bool co_busy, bool inter_busy) {
+    CsmaParams params;
+    params.cca_mode = mode;
+    CsmaMac sender{scheduler_, *medium_, *sender_radio_, sim::RandomStream{1, 4}, cca_,
+                   params};
+    // Interferers: back-to-back frames with no carrier sensing.
+    if (co_busy) co_mac_->start(phy::kNoNode, 240, sim::SimTime::milliseconds(8));
+    if (inter_busy) inter_mac_->start(phy::kNoNode, 240, sim::SimTime::milliseconds(8));
+    sender.set_saturated(TxRequest{receiver_id_, 100});
+    const auto start = scheduler_.now();
+    scheduler_.run_until(start + sim::SimTime::seconds(2.0));
+    if (co_busy) co_mac_->stop();
+    if (inter_busy) inter_mac_->stop();
+    return sender.counters().sent;
+  }
+
+  sim::Scheduler scheduler_;
+  std::optional<phy::Medium> medium_;
+  FixedCcaThreshold cca_{kZigbeeDefaultCcaThreshold};
+  phy::NodeId sender_id_ = 0;
+  phy::NodeId receiver_id_ = 0;
+  phy::NodeId co_id_ = 0;
+  phy::NodeId inter_id_ = 0;
+  std::optional<phy::Radio> sender_radio_;
+  std::optional<phy::Radio> receiver_radio_;
+  std::optional<phy::Radio> co_radio_;
+  std::optional<phy::Radio> inter_radio_;
+  std::optional<AttackerMac> co_mac_;
+  std::optional<AttackerMac> inter_mac_;
+};
+
+TEST_F(CcaModeTest, EnergyModeDefersToBoth) {
+  // At 1-1.4 m, both the co-channel signal (-40 dBm) and the 3 MHz leak
+  // (~ -73 dBm) exceed the -77 dBm threshold: energy CCA defers to both.
+  const auto baseline = sent_in_two_seconds(CcaMode::kEnergy, false, false);
+  const auto with_inter = sent_in_two_seconds(CcaMode::kEnergy, false, true);
+  const auto with_co = sent_in_two_seconds(CcaMode::kEnergy, true, false);
+  EXPECT_LT(with_inter, baseline / 2);
+  EXPECT_LT(with_co, baseline / 2);
+}
+
+TEST_F(CcaModeTest, CarrierSenseIgnoresInterChannel) {
+  const auto baseline = sent_in_two_seconds(CcaMode::kCarrierSense, false, false);
+  const auto with_inter = sent_in_two_seconds(CcaMode::kCarrierSense, false, true);
+  // The modulation detector cannot see the 3 MHz neighbour at all.
+  EXPECT_GT(with_inter, baseline * 9 / 10);
+}
+
+TEST_F(CcaModeTest, CarrierSenseStillDefersToCoChannel) {
+  const auto baseline = sent_in_two_seconds(CcaMode::kCarrierSense, false, false);
+  const auto with_co = sent_in_two_seconds(CcaMode::kCarrierSense, true, false);
+  EXPECT_LT(with_co, baseline / 2);
+}
+
+TEST_F(CcaModeTest, CombinedModeIsMostConservative) {
+  const auto combined_inter = sent_in_two_seconds(CcaMode::kEnergyOrCarrier, false, true);
+  const auto cs_inter = sent_in_two_seconds(CcaMode::kCarrierSense, false, true);
+  // Mode 3 still trips on inter-channel energy; carrier-sense does not.
+  EXPECT_LT(combined_inter, cs_inter / 2);
+}
+
+TEST(MediumCarrier, DetectorSemantics) {
+  phy::MediumConfig config;
+  config.shadowing_sigma_db = 0.0;
+  phy::Medium medium{config};
+  const phy::NodeId a = medium.add_node({0.0, 0.0});
+  const phy::NodeId b = medium.add_node({0.0, 1.0});
+
+  EXPECT_FALSE(medium.carrier_present(b, phy::Mhz{2460.0}, phy::Dbm{-94.0}));
+
+  phy::Frame frame;
+  frame.id = medium.allocate_frame_id();
+  frame.src = a;
+  frame.channel = phy::Mhz{2460.0};
+  frame.tx_power = phy::Dbm{0.0};
+  frame.psdu_bytes = 50;
+  medium.begin_tx(frame);
+
+  EXPECT_TRUE(medium.carrier_present(b, phy::Mhz{2460.0}, phy::Dbm{-94.0}));
+  // Own transmissions are never carrier for oneself.
+  EXPECT_FALSE(medium.carrier_present(a, phy::Mhz{2460.0}, phy::Dbm{-94.0}));
+  // Another channel's detector does not see it (modulation mismatch).
+  EXPECT_FALSE(medium.carrier_present(b, phy::Mhz{2463.0}, phy::Dbm{-94.0}));
+  // Sensitivity gate applies.
+  EXPECT_FALSE(medium.carrier_present(b, phy::Mhz{2460.0}, phy::Dbm{-30.0}));
+}
+
+}  // namespace
+}  // namespace nomc::mac

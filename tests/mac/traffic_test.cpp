@@ -1,0 +1,118 @@
+#include "mac/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "mac/cca.hpp"
+
+namespace nomc::mac {
+namespace {
+
+class TrafficTest : public ::testing::Test {
+ protected:
+  TrafficTest() {
+    phy::MediumConfig config;
+    config.shadowing_sigma_db = 0.0;
+    medium_.emplace(config);
+    sender_id_ = medium_->add_node({0.0, 0.0});
+    receiver_id_ = medium_->add_node({0.0, 2.0});
+    phy::RadioConfig radio_config;
+    radio_config.channel = phy::Mhz{2460.0};
+    sender_radio_.emplace(scheduler_, *medium_, sim::RandomStream{1, 0}, sender_id_,
+                          radio_config);
+    receiver_radio_.emplace(scheduler_, *medium_, sim::RandomStream{1, 1}, receiver_id_,
+                            radio_config);
+    sender_.emplace(scheduler_, *medium_, *sender_radio_, sim::RandomStream{1, 2}, cca_);
+    receiver_.emplace(scheduler_, *medium_, *receiver_radio_, sim::RandomStream{1, 3}, cca_);
+  }
+
+  sim::Scheduler scheduler_;
+  std::optional<phy::Medium> medium_;
+  FixedCcaThreshold cca_{kZigbeeDefaultCcaThreshold};
+  phy::NodeId sender_id_ = 0;
+  phy::NodeId receiver_id_ = 0;
+  std::optional<phy::Radio> sender_radio_;
+  std::optional<phy::Radio> receiver_radio_;
+  std::optional<CsmaMac> sender_;
+  std::optional<CsmaMac> receiver_;
+};
+
+TEST_F(TrafficTest, PeriodicGeneratesExactCount) {
+  PeriodicSource source{scheduler_, *sender_};
+  source.start(TxRequest{receiver_id_, 100}, sim::SimTime::milliseconds(100));
+  scheduler_.run_until(sim::SimTime::seconds(5.0));
+  EXPECT_EQ(source.generated(), 50u);
+  // The frame generated exactly at the horizon is still in flight.
+  EXPECT_GE(receiver_->counters().received + 1, 50u);
+}
+
+TEST_F(TrafficTest, PeriodicStops) {
+  PeriodicSource source{scheduler_, *sender_};
+  source.start(TxRequest{receiver_id_, 100}, sim::SimTime::milliseconds(100));
+  scheduler_.run_until(sim::SimTime::seconds(1.0));
+  source.stop();
+  const auto generated = source.generated();
+  EXPECT_EQ(generated, 10u);
+  scheduler_.run_until(sim::SimTime::seconds(3.0));
+  EXPECT_EQ(source.generated(), generated);
+}
+
+TEST_F(TrafficTest, PeriodicUnderloadDeliversEverything) {
+  // 10 pkt/s is far below the ~200 pkt/s channel capacity: zero loss.
+  PeriodicSource source{scheduler_, *sender_};
+  source.start(TxRequest{receiver_id_, 100}, sim::SimTime::milliseconds(100));
+  scheduler_.run_until(sim::SimTime::seconds(10.0));
+  EXPECT_GE(receiver_->counters().received + 1, source.generated());
+  EXPECT_EQ(sender_->counters().cca_failures, 0u);
+}
+
+TEST_F(TrafficTest, PoissonRateIsRespected) {
+  PoissonSource source{scheduler_, *sender_, sim::RandomStream{9, 0}};
+  source.start(TxRequest{receiver_id_, 100}, 40.0);
+  scheduler_.run_until(sim::SimTime::seconds(30.0));
+  // 40/s over 30 s = 1200 expected; 5 sigma ≈ 173.
+  EXPECT_NEAR(static_cast<double>(source.generated()), 1200.0, 175.0);
+  EXPECT_GT(receiver_->counters().received, source.generated() * 9 / 10);
+}
+
+TEST_F(TrafficTest, PoissonStops) {
+  PoissonSource source{scheduler_, *sender_, sim::RandomStream{9, 1}};
+  source.start(TxRequest{receiver_id_, 100}, 100.0);
+  scheduler_.run_until(sim::SimTime::seconds(1.0));
+  source.stop();
+  const auto generated = source.generated();
+  EXPECT_GT(generated, 50u);
+  scheduler_.run_until(sim::SimTime::seconds(2.0));
+  EXPECT_EQ(source.generated(), generated);
+}
+
+TEST_F(TrafficTest, PoissonInterArrivalsAreIrregular) {
+  // Distinguishes Poisson from periodic: record enqueue times, check the
+  // coefficient of variation of gaps is near 1 (exponential), not 0.
+  PoissonSource source{scheduler_, *sender_, sim::RandomStream{9, 2}};
+  std::vector<double> deliveries;
+  receiver_->set_delivery_hook([&](const phy::RxResult&) {
+    deliveries.push_back(scheduler_.now().to_seconds());
+  });
+  source.start(TxRequest{receiver_id_, 20}, 50.0);
+  scheduler_.run_until(sim::SimTime::seconds(20.0));
+
+  ASSERT_GT(deliveries.size(), 300u);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 1; i < deliveries.size(); ++i) {
+    const double gap = deliveries[i] - deliveries[i - 1];
+    sum += gap;
+    sum_sq += gap * gap;
+  }
+  const double n = static_cast<double>(deliveries.size() - 1);
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  const double cv = std::sqrt(var) / mean;
+  EXPECT_GT(cv, 0.7);
+  EXPECT_LT(cv, 1.3);
+}
+
+}  // namespace
+}  // namespace nomc::mac

@@ -1,0 +1,154 @@
+#include "net/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "phy/channel_plan.hpp"
+
+namespace nomc::net {
+namespace {
+
+LinkSpec simple_link(double x) {
+  LinkSpec link;
+  link.sender_pos = {x, 0.0};
+  link.receiver_pos = {x, 2.0};
+  link.tx_power = phy::Dbm{0.0};
+  return link;
+}
+
+TEST(Scenario, BuildAccessors) {
+  Scenario scenario;
+  const int n0 = scenario.add_network(phy::Mhz{2460.0}, Scheme::kFixedCca);
+  const int n1 = scenario.add_network(phy::Mhz{2463.0}, Scheme::kDcn);
+  EXPECT_EQ(n0, 0);
+  EXPECT_EQ(n1, 1);
+  scenario.add_link(n0, simple_link(0.0));
+  scenario.add_link(n1, simple_link(3.0));
+
+  EXPECT_EQ(scenario.network_count(), 2);
+  EXPECT_EQ(scenario.link_count(n0), 1);
+  EXPECT_EQ(scenario.network_channel(n1).value, 2463.0);
+  EXPECT_EQ(scenario.adjustor(n0, 0), nullptr);        // fixed network
+  EXPECT_NE(scenario.adjustor(n1, 0), nullptr);        // DCN network
+  EXPECT_EQ(scenario.fixed_cca(n0, 0).threshold().value, -77.0);
+  EXPECT_EQ(scenario.sender_radio(n0, 0).channel().value, 2460.0);
+  EXPECT_EQ(scenario.medium().node_count(), 4u);
+}
+
+TEST(Scenario, SingleLinkSaturationThroughput) {
+  Scenario scenario;
+  const int n = scenario.add_network(phy::Mhz{2460.0}, Scheme::kFixedCca);
+  scenario.add_link(n, simple_link(0.0));
+  scenario.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(5.0));
+
+  const auto result = scenario.network_result(n);
+  ASSERT_EQ(result.links.size(), 1u);
+  // A lone saturated 100-byte-PSDU link sustains ~200 pkt/s.
+  EXPECT_GT(result.throughput_pps, 150.0);
+  EXPECT_LT(result.throughput_pps, 300.0);
+  EXPECT_NEAR(result.links[0].prr, 1.0, 0.01);
+  EXPECT_EQ(result.links[0].receiver.crc_failed, 0u);
+}
+
+TEST(Scenario, WindowExcludesWarmup) {
+  Scenario scenario;
+  const int n = scenario.add_network(phy::Mhz{2460.0}, Scheme::kFixedCca);
+  scenario.add_link(n, simple_link(0.0));
+  scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(4.0));
+
+  const auto result = scenario.network_result(n);
+  // Counters are window-scoped: sent during 4 s at ~200/s, far below the
+  // 6 s total the MAC actually ran.
+  EXPECT_LT(result.links[0].sender.sent, 4.5 * 250);
+  EXPECT_NEAR(static_cast<double>(result.links[0].sender.sent),
+              result.throughput_pps * 4.0, 10.0);
+}
+
+TEST(Scenario, TrafficCanBeDisabledPerLink) {
+  Scenario scenario;
+  const int n = scenario.add_network(phy::Mhz{2460.0}, Scheme::kFixedCca);
+  scenario.add_link(n, simple_link(0.0));
+  scenario.add_link(n, simple_link(1.0));
+  scenario.set_traffic_enabled(n, 1, false);
+  scenario.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(3.0));
+
+  const auto result = scenario.network_result(n);
+  EXPECT_GT(result.links[0].sender.sent, 100u);
+  EXPECT_EQ(result.links[1].sender.sent, 0u);
+}
+
+TEST(Scenario, AddNetworksFromSpecs) {
+  const auto channels = phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{3.0}, 3);
+  sim::RandomStream placement{3, 999};
+  const auto specs = case1_dense(channels, placement, RandomCaseConfig{});
+
+  Scenario scenario;
+  scenario.add_networks(specs, Scheme::kDcn);
+  EXPECT_EQ(scenario.network_count(), 3);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(scenario.link_count(n), 2);
+    EXPECT_NE(scenario.adjustor(n, 0), nullptr);
+  }
+}
+
+TEST(Scenario, DcnAdjustorsStartOnRun) {
+  Scenario scenario;
+  const int n = scenario.add_network(phy::Mhz{2460.0}, Scheme::kDcn);
+  scenario.add_link(n, simple_link(0.0));
+  scenario.add_link(n, simple_link(1.0));
+  EXPECT_EQ(scenario.adjustor(n, 0)->phase(), dcn::CcaAdjustor::Phase::kNotStarted);
+  scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(2.0));
+  EXPECT_EQ(scenario.adjustor(n, 0)->phase(), dcn::CcaAdjustor::Phase::kUpdating);
+  // After the initializing phase, the threshold reflects the loud co-channel
+  // partner (~ -40 dBm at 1 m) rather than the ZigBee default.
+  EXPECT_GT(scenario.adjustor(n, 0)->threshold().value, -60.0);
+}
+
+TEST(Scenario, ResultsAreDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    ScenarioConfig config;
+    config.seed = seed;
+    Scenario scenario{config};
+    const auto channels = phy::evenly_spaced(phy::Mhz{2458.0}, phy::Mhz{3.0}, 3);
+    sim::RandomStream placement{seed, 999};
+    scenario.add_networks(case1_dense(channels, placement, RandomCaseConfig{}),
+                          Scheme::kDcn);
+    scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(3.0));
+    return scenario.network_throughputs();
+  };
+
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  EXPECT_EQ(a, b);  // bit-identical replay
+
+  const auto c = run_once(43);
+  EXPECT_NE(a, c);  // different seed, different realization
+}
+
+TEST(Scenario, OverallIsSumOfNetworks) {
+  Scenario scenario;
+  const int n0 = scenario.add_network(phy::Mhz{2458.0}, Scheme::kFixedCca);
+  const int n1 = scenario.add_network(phy::Mhz{2467.0}, Scheme::kFixedCca);
+  scenario.add_link(n0, simple_link(0.0));
+  scenario.add_link(n1, simple_link(5.0));
+  scenario.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(3.0));
+  const auto pps = scenario.network_throughputs();
+  EXPECT_NEAR(scenario.overall_throughput(), pps[0] + pps[1], 1e-9);
+}
+
+TEST(Scenario, CustomPsduSizeChangesRate) {
+  auto run_with_psdu = [](int psdu) {
+    ScenarioConfig config;
+    config.psdu_bytes = psdu;
+    Scenario scenario{config};
+    const int n = scenario.add_network(phy::Mhz{2460.0}, Scheme::kFixedCca);
+    scenario.add_link(n, simple_link(0.0));
+    scenario.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(3.0));
+    return scenario.network_result(n).throughput_pps;
+  };
+  // Smaller frames => more frames per second.
+  EXPECT_GT(run_with_psdu(30), run_with_psdu(120));
+}
+
+}  // namespace
+}  // namespace nomc::net

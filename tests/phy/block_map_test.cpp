@@ -1,0 +1,145 @@
+// Per-block error accounting at the Radio (PPR's PHY substrate).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "phy/medium.hpp"
+#include "phy/radio.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nomc::phy {
+namespace {
+
+class BlockMapTest : public ::testing::Test {
+ protected:
+  BlockMapTest() {
+    MediumConfig config;
+    config.shadowing_sigma_db = 0.0;
+    medium_.emplace(config);
+  }
+
+  std::unique_ptr<Radio> make_radio(Vec2 pos, Mhz channel, int block_size) {
+    const NodeId id = medium_->add_node(pos);
+    RadioConfig config;
+    config.channel = channel;
+    config.block_size_bytes = block_size;
+    return std::make_unique<Radio>(scheduler_, *medium_, sim::RandomStream{1, id}, id, config);
+  }
+
+  Frame frame(NodeId src, NodeId dst, Mhz channel, Dbm power, int psdu) {
+    Frame f;
+    f.id = medium_->allocate_frame_id();
+    f.src = src;
+    f.dst = dst;
+    f.channel = channel;
+    f.tx_power = power;
+    f.psdu_bytes = psdu;
+    return f;
+  }
+
+  sim::Scheduler scheduler_;
+  std::optional<Medium> medium_;
+};
+
+class Collector : public RadioListener {
+ public:
+  void on_rx(const RxResult& result) override { results.push_back(result); }
+  void on_tx_done(const Frame&) override {}
+  std::vector<RxResult> results;
+};
+
+TEST_F(BlockMapTest, CleanFrameHasAllCleanBlocks) {
+  auto tx = make_radio({0, 0}, Mhz{2460.0}, 16);
+  auto rx = make_radio({0, 2}, Mhz{2460.0}, 16);
+  Collector collector;
+  rx->set_listener(&collector);
+
+  tx->transmit(frame(tx->node(), rx->node(), Mhz{2460.0}, Dbm{0.0}, 100));
+  scheduler_.run_all();
+
+  ASSERT_EQ(collector.results.size(), 1u);
+  // 100 bytes at 16-byte blocks = 7 blocks (last one partial).
+  ASSERT_EQ(collector.results[0].block_errors.size(), 7u);
+  EXPECT_EQ(collector.results[0].dirty_blocks(), 0);
+  EXPECT_TRUE(collector.results[0].crc_ok);
+}
+
+TEST_F(BlockMapTest, BlockCountRoundsUp) {
+  auto tx = make_radio({0, 0}, Mhz{2460.0}, 32);
+  auto rx = make_radio({0, 2}, Mhz{2460.0}, 32);
+  Collector collector;
+  rx->set_listener(&collector);
+  tx->transmit(frame(tx->node(), rx->node(), Mhz{2460.0}, Dbm{0.0}, 33));
+  scheduler_.run_all();
+  ASSERT_EQ(collector.results.size(), 1u);
+  EXPECT_EQ(collector.results[0].block_errors.size(), 2u);  // 33/32 -> 2
+}
+
+TEST_F(BlockMapTest, ZeroBlockSizeDisablesMap) {
+  auto tx = make_radio({0, 0}, Mhz{2460.0}, 0);
+  auto rx = make_radio({0, 2}, Mhz{2460.0}, 0);
+  Collector collector;
+  rx->set_listener(&collector);
+  tx->transmit(frame(tx->node(), rx->node(), Mhz{2460.0}, Dbm{0.0}, 100));
+  scheduler_.run_all();
+  ASSERT_EQ(collector.results.size(), 1u);
+  EXPECT_TRUE(collector.results[0].block_errors.empty());
+  EXPECT_TRUE(collector.results[0].crc_ok);
+}
+
+TEST_F(BlockMapTest, PartialInterferenceDirtiesOnlyOverlappedBlocks) {
+  // The wanted frame is 100 bytes (3.392 ms). A hot co-channel burst covers
+  // only its tail: the early blocks must stay clean, the late ones dirty.
+  auto tx = make_radio({0, 0}, Mhz{2460.0}, 16);
+  auto rx = make_radio({0, 2}, Mhz{2460.0}, 16);
+  auto jammer = make_radio({0.2, 2}, Mhz{2460.0}, 16);
+  Collector collector;
+  rx->set_listener(&collector);
+
+  tx->transmit(frame(tx->node(), rx->node(), Mhz{2460.0}, Dbm{0.0}, 100));
+  // Start the jam at 2.5 ms: past the PHY header (192 us) and roughly 68 %
+  // into the PSDU.
+  scheduler_.schedule_at(sim::SimTime::microseconds(2500), [&] {
+    jammer->transmit(frame(jammer->node(), kNoNode, Mhz{2460.0}, Dbm{0.0}, 100));
+  });
+  scheduler_.run_all();
+
+  ASSERT_GE(collector.results.size(), 1u);
+  const RxResult& wanted = collector.results[0];
+  ASSERT_EQ(wanted.block_errors.size(), 7u);
+  EXPECT_FALSE(wanted.crc_ok);
+  // PSDU bit at 2.5 ms: (2500-192)us / 4us = 577 bits => block 4 onward.
+  EXPECT_FALSE(wanted.block_errors[0]);
+  EXPECT_FALSE(wanted.block_errors[1]);
+  EXPECT_FALSE(wanted.block_errors[2]);
+  EXPECT_FALSE(wanted.block_errors[3]);
+  int dirty_tail = 0;
+  for (int b = 4; b < 7; ++b) dirty_tail += wanted.block_errors[static_cast<std::size_t>(b)];
+  EXPECT_GE(dirty_tail, 2);  // SIR ~0 dB: the overlapped tail is destroyed
+}
+
+TEST_F(BlockMapTest, BitErrorsConsistentWithDirtyBlocks) {
+  auto tx = make_radio({0, 0}, Mhz{2460.0}, 16);
+  auto rx = make_radio({0, 2}, Mhz{2460.0}, 16);
+  auto jammer = make_radio({0.3, 2}, Mhz{2461.0}, 16);  // 1 MHz leak
+  Collector collector;
+  rx->set_listener(&collector);
+
+  tx->transmit(frame(tx->node(), rx->node(), Mhz{2460.0}, Dbm{-20.0}, 100));
+  jammer->transmit(frame(jammer->node(), kNoNode, Mhz{2461.0}, Dbm{0.0}, 100));
+  scheduler_.run_all();
+
+  ASSERT_GE(collector.results.size(), 1u);
+  const RxResult& wanted = collector.results[0];
+  if (wanted.bit_errors > 0) {
+    EXPECT_GT(wanted.dirty_blocks(), 0);
+    // No more dirty blocks than bit errors.
+    EXPECT_LE(wanted.dirty_blocks(), wanted.bit_errors);
+  } else {
+    EXPECT_EQ(wanted.dirty_blocks(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace nomc::phy

@@ -1,0 +1,125 @@
+#include "phy/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "phy/medium.hpp"
+#include "phy/radio.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nomc::phy {
+namespace {
+
+TEST(EnergyModel, TxCurrentTable) {
+  const EnergyModel model;
+  EXPECT_DOUBLE_EQ(model.tx_current_ma(Dbm{0.0}), 17.4);
+  EXPECT_DOUBLE_EQ(model.tx_current_ma(Dbm{-25.0}), 8.5);
+  EXPECT_DOUBLE_EQ(model.tx_current_ma(Dbm{-10.0}), 11.0);
+  // Interpolated midpoint between -10 (11.0) and -5 (14.0).
+  EXPECT_NEAR(model.tx_current_ma(Dbm{-7.5}), 12.5, 1e-9);
+  // Clamped at the table edges.
+  EXPECT_DOUBLE_EQ(model.tx_current_ma(Dbm{-40.0}), 8.5);
+  EXPECT_DOUBLE_EQ(model.tx_current_ma(Dbm{5.0}), 17.4);
+}
+
+TEST(EnergyModel, TxCurrentMonotoneInPower) {
+  const EnergyModel model;
+  double prev = 0.0;
+  for (double p = -30.0; p <= 2.0; p += 0.5) {
+    const double cur = model.tx_current_ma(Dbm{p});
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(EnergyModel, EnergyArithmetic) {
+  const EnergyModel model{3.0, 18.8};
+  // 1 second at 18.8 mA, 3 V = 56.4 mJ.
+  EXPECT_NEAR(model.energy_mj(sim::SimTime::seconds(1.0), 18.8), 56.4, 1e-9);
+  EXPECT_EQ(model.energy_mj(sim::SimTime::zero(), 18.8), 0.0);
+}
+
+TEST(RadioEnergyStruct, Totals) {
+  RadioEnergy energy;
+  energy.tx_mj = 1.5;
+  energy.listen_mj = 2.5;
+  EXPECT_DOUBLE_EQ(energy.total_mj(), 4.0);
+}
+
+class RadioEnergyTest : public ::testing::Test {
+ protected:
+  RadioEnergyTest() {
+    MediumConfig config;
+    config.shadowing_sigma_db = 0.0;
+    medium_.emplace(config);
+    self_ = medium_->add_node({0.0, 0.0});
+    RadioConfig radio_config;
+    radio_config.channel = Mhz{2460.0};
+    radio_.emplace(scheduler_, *medium_, sim::RandomStream{1, 0}, self_, radio_config);
+  }
+
+  Frame make_frame(Dbm power, int psdu) {
+    Frame frame;
+    frame.id = medium_->allocate_frame_id();
+    frame.src = self_;
+    frame.channel = Mhz{2460.0};
+    frame.tx_power = power;
+    frame.psdu_bytes = psdu;
+    return frame;
+  }
+
+  sim::Scheduler scheduler_;
+  std::optional<Medium> medium_;
+  std::optional<Radio> radio_;
+  NodeId self_ = 0;
+};
+
+TEST_F(RadioEnergyTest, PureListening) {
+  scheduler_.run_until(sim::SimTime::seconds(2.0));
+  const RadioEnergy energy = radio_->energy_consumed();
+  EXPECT_EQ(energy.tx_mj, 0.0);
+  // 2 s at 18.8 mA, 3 V = 112.8 mJ.
+  EXPECT_NEAR(energy.listen_mj, 112.8, 1e-6);
+}
+
+TEST_F(RadioEnergyTest, TransmitSplitsCharge) {
+  const Frame frame = make_frame(Dbm{0.0}, 100);  // 3.392 ms airtime
+  radio_->transmit(frame);
+  scheduler_.run_until(sim::SimTime::seconds(1.0));
+  const RadioEnergy energy = radio_->energy_consumed();
+  const double expected_tx = 17.4 * 3.0 * frame.duration().to_seconds();
+  const double expected_listen = 18.8 * 3.0 * (1.0 - frame.duration().to_seconds());
+  EXPECT_NEAR(energy.tx_mj, expected_tx, 1e-9);
+  EXPECT_NEAR(energy.listen_mj, expected_listen, 1e-6);
+}
+
+TEST_F(RadioEnergyTest, LowerPowerCheaperTx) {
+  radio_->transmit(make_frame(Dbm{0.0}, 100));
+  scheduler_.run_all();
+  const double full_power_tx = radio_->energy_consumed().tx_mj;
+
+  RadioConfig radio_config;
+  radio_config.channel = Mhz{2460.0};
+  Radio low{scheduler_, *medium_, sim::RandomStream{1, 1}, medium_->add_node({5.0, 0.0}),
+            radio_config};
+  Frame frame = make_frame(Dbm{-25.0}, 100);
+  frame.src = low.node();
+  low.transmit(frame);
+  scheduler_.run_all();
+  EXPECT_LT(low.energy_consumed().tx_mj, full_power_tx * 0.6);
+}
+
+TEST_F(RadioEnergyTest, QueryMidTransmissionIsConsistent) {
+  radio_->transmit(make_frame(Dbm{0.0}, 200));
+  scheduler_.run_until(sim::SimTime::microseconds(100));
+  const RadioEnergy mid = radio_->energy_consumed();
+  EXPECT_GT(mid.tx_mj, 0.0);
+  scheduler_.run_all();
+  const RadioEnergy done = radio_->energy_consumed();
+  EXPECT_GT(done.tx_mj, mid.tx_mj);
+  EXPECT_GE(done.listen_mj, mid.listen_mj);
+}
+
+}  // namespace
+}  // namespace nomc::phy

@@ -1,0 +1,83 @@
+#include "phy/path_loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nomc::phy {
+namespace {
+
+TEST(PathLoss, ReferenceValue) {
+  const LogDistancePathLoss model;  // n=2.2, 40 dB @ 1 m
+  EXPECT_NEAR(model.loss(1.0).value, 40.0, 1e-9);
+}
+
+TEST(PathLoss, LogDistanceLaw) {
+  const LogDistancePathLoss model;
+  // Doubling the distance adds 10*2.2*log10(2) = 6.62 dB.
+  EXPECT_NEAR(model.loss(2.0).value - model.loss(1.0).value, 6.6227, 1e-3);
+  EXPECT_NEAR(model.loss(10.0).value, 40.0 + 22.0, 1e-9);
+}
+
+TEST(PathLoss, ClampsInsideReference) {
+  const LogDistancePathLoss model;
+  EXPECT_EQ(model.loss(0.1).value, model.loss(1.0).value);
+  EXPECT_EQ(model.loss(0.0).value, 40.0);
+}
+
+TEST(PathLoss, CustomParameters) {
+  const LogDistancePathLoss model{3.0, Db{46.0}, 2.0};
+  EXPECT_NEAR(model.loss(2.0).value, 46.0, 1e-9);
+  EXPECT_NEAR(model.loss(20.0).value, 46.0 + 30.0, 1e-9);
+  EXPECT_EQ(model.exponent(), 3.0);
+}
+
+TEST(PathLoss, MonotoneInDistance) {
+  const LogDistancePathLoss model;
+  double prev = model.loss(1.0).value;
+  for (double d = 1.5; d < 100.0; d *= 1.5) {
+    const double cur = model.loss(d).value;
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Shadowing, DeterministicPerFrameAndNode) {
+  const ShadowingField field{2.5, 42};
+  const Db a = field.sample(7, 3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(field.sample(7, 3).value, a.value);
+}
+
+TEST(Shadowing, VariesAcrossFramesAndNodes) {
+  const ShadowingField field{2.5, 42};
+  EXPECT_NE(field.sample(7, 3).value, field.sample(8, 3).value);
+  EXPECT_NE(field.sample(7, 3).value, field.sample(7, 4).value);
+}
+
+TEST(Shadowing, SeedChangesRealization) {
+  const ShadowingField a{2.5, 1};
+  const ShadowingField b{2.5, 2};
+  EXPECT_NE(a.sample(7, 3).value, b.sample(7, 3).value);
+}
+
+TEST(Shadowing, ZeroSigmaIsZero) {
+  const ShadowingField field{0.0, 42};
+  for (std::uint64_t f = 0; f < 20; ++f) EXPECT_EQ(field.sample(f, 1).value, 0.0);
+}
+
+TEST(Shadowing, EmpiricalMomentsMatchSigma) {
+  const ShadowingField field{2.5, 123};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double z = field.sample(static_cast<std::uint64_t>(i), 0).value;
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 2.5, 0.05);
+}
+
+}  // namespace
+}  // namespace nomc::phy

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "phy/channel_plan.hpp"
+#include "phy/frame.hpp"
+#include "phy/geometry.hpp"
+#include "phy/timing.hpp"
+
+namespace nomc::phy {
+namespace {
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Geometry, VectorOps) {
+  const Vec2 v = Vec2{1.0, 2.0} + Vec2{3.0, -1.0};
+  EXPECT_EQ(v, (Vec2{4.0, 1.0}));
+  EXPECT_EQ((Vec2{4.0, 1.0} - Vec2{3.0, -1.0}), (Vec2{1.0, 2.0}));
+}
+
+TEST(Timing, BitAndSymbolTimes) {
+  // 250 kb/s => 4 us per bit; 16 us per symbol (4 bits/symbol).
+  EXPECT_EQ(kBitTime, sim::SimTime::microseconds(4));
+  EXPECT_EQ(kSymbolTime, sim::SimTime::microseconds(16));
+  EXPECT_EQ(kUnitBackoff, sim::SimTime::microseconds(320));
+  EXPECT_EQ(kCcaDuration, sim::SimTime::microseconds(128));
+  EXPECT_EQ(kTurnaround, sim::SimTime::microseconds(192));
+}
+
+TEST(Timing, FrameDuration) {
+  // 100-byte PSDU + 6-byte PHY header = 848 bits at 4 us/bit.
+  EXPECT_EQ(frame_duration(100), sim::SimTime::microseconds(848 * 4));
+  EXPECT_EQ(frame_duration(0), sim::SimTime::microseconds(6 * 8 * 4));
+}
+
+TEST(Frame, DurationAndBits) {
+  Frame frame;
+  frame.psdu_bytes = 100;
+  EXPECT_EQ(frame.duration(), frame_duration(100));
+  EXPECT_EQ(frame.psdu_bits(), 800);
+}
+
+TEST(ChannelPlan, EvenlySpaced) {
+  const auto plan = evenly_spaced(Mhz{2458.0}, Mhz{3.0}, 6);
+  ASSERT_EQ(plan.size(), 6u);
+  EXPECT_DOUBLE_EQ(plan.front().value, 2458.0);
+  EXPECT_DOUBLE_EQ(plan.back().value, 2473.0);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plan[i].value - plan[i - 1].value, 3.0);
+  }
+}
+
+TEST(ChannelPlan, EvenlySpacedEmpty) {
+  EXPECT_TRUE(evenly_spaced(Mhz{2458.0}, Mhz{3.0}, 0).empty());
+}
+
+TEST(ChannelPlan, PackBand) {
+  const auto plan = pack_band(Mhz{2458.0}, Mhz{2470.0}, Mhz{5.0});
+  ASSERT_EQ(plan.size(), 3u);  // 2458, 2463, 2468
+  EXPECT_DOUBLE_EQ(plan[2].value, 2468.0);
+}
+
+TEST(ChannelPlan, PackBandIncludesEndpoint) {
+  const auto plan = pack_band(Mhz{2458.0}, Mhz{2473.0}, Mhz{3.0});
+  ASSERT_EQ(plan.size(), 6u);
+  EXPECT_DOUBLE_EQ(plan.back().value, 2473.0);
+}
+
+TEST(ChannelPlan, ZigbeeChannels) {
+  const auto plan = zigbee_channels();
+  ASSERT_EQ(plan.size(), 16u);
+  EXPECT_DOUBLE_EQ(plan.front().value, 2405.0);  // channel 11
+  EXPECT_DOUBLE_EQ(plan.back().value, 2480.0);   // channel 26
+  EXPECT_DOUBLE_EQ(zigbee_channel(15).value, 2425.0);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plan[i].value - plan[i - 1].value, 5.0);  // ZigBee CFD
+  }
+}
+
+}  // namespace
+}  // namespace nomc::phy

@@ -1,0 +1,86 @@
+#include "phy/rejection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nomc::phy {
+namespace {
+
+TEST(Rejection, CoChannelIsZero) {
+  EXPECT_EQ(ChannelRejection::cc2420_decode().attenuation(Mhz{0.0}).value, 0.0);
+  EXPECT_EQ(ChannelRejection::cc2420_sensing().attenuation(Mhz{0.0}).value, 0.0);
+}
+
+TEST(Rejection, DefaultConstructorIsDecodeCurve) {
+  const ChannelRejection def;
+  const ChannelRejection decode = ChannelRejection::cc2420_decode();
+  for (double f = 0.0; f <= 20.0; f += 0.5) {
+    EXPECT_EQ(def.attenuation(Mhz{f}).value, decode.attenuation(Mhz{f}).value);
+  }
+}
+
+TEST(Rejection, AnchorValuesExact) {
+  const ChannelRejection decode = ChannelRejection::cc2420_decode();
+  EXPECT_DOUBLE_EQ(decode.attenuation(Mhz{3.0}).value, 30.5);
+  EXPECT_DOUBLE_EQ(decode.attenuation(Mhz{5.0}).value, 37.5);
+  const ChannelRejection sensing = ChannelRejection::cc2420_sensing();
+  EXPECT_DOUBLE_EQ(sensing.attenuation(Mhz{3.0}).value, 30.0);
+  EXPECT_DOUBLE_EQ(sensing.attenuation(Mhz{5.0}).value, 36.0);
+}
+
+TEST(Rejection, LinearInterpolationBetweenAnchors) {
+  const ChannelRejection decode = ChannelRejection::cc2420_decode();
+  // Between 2 MHz (25.5 dB) and 3 MHz (30.5 dB): midpoint 28.0 dB.
+  EXPECT_NEAR(decode.attenuation(Mhz{2.5}).value, 28.0, 1e-9);
+}
+
+TEST(Rejection, FlatBeyondLastAnchor) {
+  const ChannelRejection decode = ChannelRejection::cc2420_decode();
+  EXPECT_EQ(decode.attenuation(Mhz{15.0}).value, decode.attenuation(Mhz{40.0}).value);
+}
+
+TEST(Rejection, NegativeOffsetMirrors) {
+  const ChannelRejection decode = ChannelRejection::cc2420_decode();
+  EXPECT_EQ(decode.attenuation(Mhz{-3.0}).value, decode.attenuation(Mhz{3.0}).value);
+}
+
+TEST(Rejection, SensingNeverStrongerThanDecode) {
+  // The energy detector lacks despreading gain: it must hear neighbours at
+  // least as loudly as the demodulator rejects them.
+  const ChannelRejection decode = ChannelRejection::cc2420_decode();
+  const ChannelRejection sensing = ChannelRejection::cc2420_sensing();
+  for (double f = 0.0; f <= 20.0; f += 0.25) {
+    EXPECT_LE(sensing.attenuation(Mhz{f}).value, decode.attenuation(Mhz{f}).value + 1e-9)
+        << "at offset " << f;
+  }
+}
+
+TEST(Rejection, CustomCurve) {
+  const ChannelRejection custom{{{Mhz{0.0}, Db{0.0}}, {Mhz{10.0}, Db{50.0}}}};
+  EXPECT_NEAR(custom.attenuation(Mhz{5.0}).value, 25.0, 1e-9);
+  EXPECT_EQ(custom.attenuation(Mhz{20.0}).value, 50.0);
+}
+
+TEST(Rejection, AnchorsAccessor) {
+  const ChannelRejection decode = ChannelRejection::cc2420_decode();
+  ASSERT_FALSE(decode.anchors().empty());
+  EXPECT_EQ(decode.anchors().front().offset.value, 0.0);
+}
+
+/// Property: both calibrated curves are non-decreasing in offset.
+class RejectionMonotone : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RejectionMonotone, NonDecreasing) {
+  const ChannelRejection curve =
+      GetParam() ? ChannelRejection::cc2420_decode() : ChannelRejection::cc2420_sensing();
+  double prev = -1.0;
+  for (double f = 0.0; f <= 25.0; f += 0.1) {
+    const double cur = curve.attenuation(Mhz{f}).value;
+    ASSERT_GE(cur, prev - 1e-12) << "at offset " << f;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCurves, RejectionMonotone, ::testing::Bool());
+
+}  // namespace
+}  // namespace nomc::phy

@@ -1,0 +1,64 @@
+#include "phy/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nomc::phy {
+namespace {
+
+TEST(Units, DbmMilliwattRoundTrip) {
+  EXPECT_NEAR(to_milliwatts(Dbm{0.0}).value, 1.0, 1e-12);
+  EXPECT_NEAR(to_milliwatts(Dbm{10.0}).value, 10.0, 1e-9);
+  EXPECT_NEAR(to_milliwatts(Dbm{-30.0}).value, 1e-3, 1e-12);
+  EXPECT_NEAR(to_dbm(MilliWatts{1.0}).value, 0.0, 1e-12);
+  EXPECT_NEAR(to_dbm(MilliWatts{0.5}).value, -3.0103, 1e-3);
+  for (const double level : {-95.0, -77.0, -40.0, 0.0, 20.0}) {
+    EXPECT_NEAR(to_dbm(to_milliwatts(Dbm{level})).value, level, 1e-9);
+  }
+}
+
+TEST(Units, ZeroPowerMapsToFloor) {
+  EXPECT_EQ(to_dbm(MilliWatts{0.0}).value, -300.0);
+  EXPECT_EQ(to_dbm(MilliWatts{-1.0}).value, -300.0);
+}
+
+TEST(Units, LevelRatioAlgebra) {
+  const Dbm level{-40.0};
+  EXPECT_EQ((level + Db{10.0}).value, -30.0);
+  EXPECT_EQ((level - Db{10.0}).value, -50.0);
+  EXPECT_EQ((Dbm{-40.0} - Dbm{-70.0}).value, 30.0);  // SIR in dB
+}
+
+TEST(Units, DbAlgebra) {
+  EXPECT_EQ((Db{3.0} + Db{4.0}).value, 7.0);
+  EXPECT_EQ((Db{3.0} - Db{4.0}).value, -1.0);
+  EXPECT_EQ((-Db{3.0}).value, -3.0);
+  EXPECT_EQ((2.0 * Db{3.0}).value, 6.0);
+}
+
+TEST(Units, MilliwattsAddLinearly) {
+  // Two equal signals add to +3 dB.
+  const MilliWatts sum = to_milliwatts(Dbm{-50.0}) + to_milliwatts(Dbm{-50.0});
+  EXPECT_NEAR(to_dbm(sum).value, -46.99, 0.02);
+}
+
+TEST(Units, OrderingOperators) {
+  EXPECT_LT(Dbm{-77.0}, Dbm{-50.0});
+  EXPECT_GT(Db{10.0}, Db{3.0});
+  EXPECT_LT(Mhz{2458.0}, Mhz{2461.0});
+}
+
+TEST(Units, FrequencyDistanceIsAbsolute) {
+  EXPECT_EQ(frequency_distance(Mhz{2458.0}, Mhz{2461.0}).value, 3.0);
+  EXPECT_EQ(frequency_distance(Mhz{2461.0}, Mhz{2458.0}).value, 3.0);
+  EXPECT_EQ(frequency_distance(Mhz{2460.0}, Mhz{2460.0}).value, 0.0);
+}
+
+TEST(Units, SameChannelWindow) {
+  EXPECT_TRUE(same_channel(Mhz{2460.0}, Mhz{2460.0}));
+  EXPECT_TRUE(same_channel(Mhz{2460.0}, Mhz{2460.4}));
+  EXPECT_FALSE(same_channel(Mhz{2460.0}, Mhz{2461.0}));
+  EXPECT_FALSE(same_channel(Mhz{2460.0}, Mhz{2463.0}));
+}
+
+}  // namespace
+}  // namespace nomc::phy

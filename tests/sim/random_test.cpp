@@ -1,0 +1,194 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace nomc::sim {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a{1234};
+  SplitMix64 b{1234};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a{1};
+  SplitMix64 b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256pp a{42};
+  Xoshiro256pp b{42};
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Xoshiro, LongJumpDecorrelates) {
+  Xoshiro256pp a{42};
+  Xoshiro256pp b{42};
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RandomStream, UniformInUnitInterval) {
+  RandomStream rng{7, 0};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RandomStream, UniformRangeRespectsBounds) {
+  RandomStream rng{7, 1};
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform(-22.0, 0.0);
+    ASSERT_GE(v, -22.0);
+    ASSERT_LT(v, 0.0);
+  }
+}
+
+TEST(RandomStream, UniformIntCoversRangeUniformly) {
+  RandomStream rng{7, 2};
+  std::vector<int> counts(8, 0);
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t v = rng.uniform_int(0, 7);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 7);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.125, 0.01);
+  }
+}
+
+TEST(RandomStream, UniformIntSinglePoint) {
+  RandomStream rng{7, 3};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RandomStream, BernoulliEdgeCases) {
+  RandomStream rng{7, 4};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RandomStream, BernoulliFrequency) {
+  RandomStream rng{7, 5};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RandomStream, NormalMoments) {
+  RandomStream rng{7, 6};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RandomStream, NormalScaled) {
+  RandomStream rng{7, 7};
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(-77.0, 2.5);
+  EXPECT_NEAR(sum / n, -77.0, 0.1);
+}
+
+TEST(RandomStream, ExponentialMean) {
+  RandomStream rng{7, 8};
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RandomStream, StreamsAreIndependent) {
+  RandomStream a{7, 0};
+  RandomStream b{7, 1};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RandomStream, SameStreamIndexReplays) {
+  RandomStream a{7, 3};
+  RandomStream b{7, 3};
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Binomial, EdgeCases) {
+  RandomStream rng{7, 9};
+  EXPECT_EQ(rng.binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100);
+  EXPECT_EQ(rng.binomial(100, -0.1), 0);
+  EXPECT_EQ(rng.binomial(100, 1.5), 100);
+}
+
+TEST(Binomial, ResultAlwaysInRange) {
+  RandomStream rng{7, 10};
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t k = rng.binomial(50, 0.3);
+    ASSERT_GE(k, 0);
+    ASSERT_LE(k, 50);
+  }
+}
+
+/// Property sweep: the empirical mean of binomial(n, p) must match n*p in
+/// all three sampling regimes (geometric skip, direct trials, normal
+/// approximation).
+struct BinomialCase {
+  std::int64_t n;
+  double p;
+};
+
+class BinomialSweep : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialSweep, MeanMatches) {
+  const auto [n, p] = GetParam();
+  RandomStream rng{11, static_cast<std::uint64_t>(n)};
+  const int trials = 20'000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.binomial(n, p));
+  const double mean = sum / trials;
+  const double expected = static_cast<double>(n) * p;
+  const double sigma = std::sqrt(expected * (1.0 - p) / trials);
+  EXPECT_NEAR(mean, expected, std::max(5.0 * sigma, 0.02 * expected + 0.01));
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, BinomialSweep,
+                         ::testing::Values(BinomialCase{1000, 1e-4},   // geometric skip
+                                           BinomialCase{1000, 0.01},   // geometric skip
+                                           BinomialCase{200, 0.1},     // direct trials
+                                           BinomialCase{50, 0.4},      // direct trials
+                                           BinomialCase{1000, 0.25},   // normal approx
+                                           BinomialCase{800, 0.5}));   // normal approx
+
+}  // namespace
+}  // namespace nomc::sim

@@ -1,0 +1,184 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace nomc::sim {
+namespace {
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), SimTime::zero());
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::microseconds(30), [&] { order.push_back(3); });
+  s.schedule_at(SimTime::microseconds(10), [&] { order.push_back(1); });
+  s.schedule_at(SimTime::microseconds(20), [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), SimTime::microseconds(30));
+}
+
+TEST(Scheduler, EqualTimesRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(SimTime::microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler s;
+  SimTime observed;
+  s.schedule_at(SimTime::microseconds(100), [&] {
+    s.schedule_in(SimTime::microseconds(50), [&] { observed = s.now(); });
+  });
+  s.run_all();
+  EXPECT_EQ(observed, SimTime::microseconds(150));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(SimTime::microseconds(10), [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run_all();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(Scheduler, CancelTwiceFails) {
+  Scheduler s;
+  const EventId id = s.schedule_at(SimTime::microseconds(10), [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, CancelAfterRunFails) {
+  Scheduler s;
+  const EventId id = s.schedule_at(SimTime::microseconds(10), [] {});
+  s.run_all();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, CancelInvalidIdFails) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(kInvalidEventId));
+  EXPECT_FALSE(s.cancel(999));
+}
+
+TEST(Scheduler, PendingCountTracksLiveEvents) {
+  Scheduler s;
+  const EventId a = s.schedule_at(SimTime::microseconds(10), [] {});
+  s.schedule_at(SimTime::microseconds(20), [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizon) {
+  Scheduler s;
+  int ran = 0;
+  s.schedule_at(SimTime::microseconds(10), [&] { ++ran; });
+  s.schedule_at(SimTime::microseconds(30), [&] { ++ran; });
+  s.run_until(SimTime::microseconds(20));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.now(), SimTime::microseconds(20));
+  // The later event is still pending and runs on the next horizon.
+  s.run_until(SimTime::microseconds(40));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(s.now(), SimTime::microseconds(40));
+}
+
+TEST(Scheduler, RunUntilInclusiveOfBoundary) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule_at(SimTime::microseconds(20), [&] { ran = true; });
+  s.run_until(SimTime::microseconds(20));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeEvenWhenEmpty) {
+  Scheduler s;
+  s.run_until(SimTime::seconds(5.0));
+  EXPECT_EQ(s.now(), SimTime::seconds(5.0));
+}
+
+TEST(Scheduler, RunUntilSkipsCancelledHeadEvents) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(SimTime::microseconds(5), [&] { ran = true; });
+  s.schedule_at(SimTime::microseconds(50), [&] { ran = true; });
+  s.cancel(id);
+  // Horizon between the two events: the cancelled head must not block or
+  // trigger anything.
+  s.run_until(SimTime::microseconds(10));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.now(), SimTime::microseconds(10));
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.schedule_in(SimTime::microseconds(10), chain);
+  };
+  s.schedule_at(SimTime::microseconds(10), chain);
+  s.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), SimTime::microseconds(50));
+}
+
+TEST(Scheduler, EventsCanCancelOtherEvents) {
+  Scheduler s;
+  bool victim_ran = false;
+  const EventId victim = s.schedule_at(SimTime::microseconds(20), [&] { victim_ran = true; });
+  s.schedule_at(SimTime::microseconds(10), [&] { s.cancel(victim); });
+  s.run_all();
+  EXPECT_FALSE(victim_ran);
+}
+
+TEST(Scheduler, ExecutedCounts) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(SimTime::microseconds(i), [] {});
+  s.run_all();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+/// Property: any randomly generated schedule executes in nondecreasing time
+/// order, regardless of insertion order and cancellations.
+class SchedulerRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerRandomSweep, TotalOrderHolds) {
+  Scheduler s;
+  RandomStream rng{GetParam(), 0};
+  std::vector<SimTime> executed_at;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime at = SimTime::microseconds(rng.uniform_int(0, 10'000));
+    ids.push_back(s.schedule_at(at, [&executed_at, &s] { executed_at.push_back(s.now()); }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) s.cancel(ids[i]);
+  s.run_all();
+  EXPECT_EQ(executed_at.size(), 500u - (500u + 2) / 3);
+  for (std::size_t i = 1; i < executed_at.size(); ++i) {
+    ASSERT_LE(executed_at[i - 1], executed_at[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerRandomSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace nomc::sim

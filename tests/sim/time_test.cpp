@@ -1,0 +1,62 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nomc::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ticks(), 0);
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+}
+
+TEST(SimTime, FactoryUnits) {
+  EXPECT_EQ(SimTime::nanoseconds(1).ticks(), 1);
+  EXPECT_EQ(SimTime::microseconds(1).ticks(), 1'000);
+  EXPECT_EQ(SimTime::milliseconds(1).ticks(), 1'000'000);
+  EXPECT_EQ(SimTime::seconds(1.0).ticks(), 1'000'000'000);
+  EXPECT_EQ(SimTime::seconds(0.5).ticks(), 500'000'000);
+}
+
+TEST(SimTime, RoundTripConversions) {
+  const SimTime t = SimTime::milliseconds(1250);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.25);
+  EXPECT_DOUBLE_EQ(t.to_milliseconds(), 1250.0);
+  EXPECT_DOUBLE_EQ(t.to_microseconds(), 1'250'000.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::microseconds(300);
+  const SimTime b = SimTime::microseconds(200);
+  EXPECT_EQ(a + b, SimTime::microseconds(500));
+  EXPECT_EQ(a - b, SimTime::microseconds(100));
+  EXPECT_EQ(a * 3, SimTime::microseconds(900));
+  EXPECT_EQ(3 * a, SimTime::microseconds(900));
+  EXPECT_EQ(a / b, 1);
+  EXPECT_EQ(SimTime::microseconds(640) / SimTime::microseconds(320), 2);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::microseconds(100);
+  t += SimTime::microseconds(50);
+  EXPECT_EQ(t, SimTime::microseconds(150));
+  t -= SimTime::microseconds(150);
+  EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::microseconds(1), SimTime::microseconds(2));
+  EXPECT_LE(SimTime::microseconds(2), SimTime::microseconds(2));
+  EXPECT_GT(SimTime::seconds(1.0), SimTime::milliseconds(999));
+  EXPECT_LT(SimTime::zero(), SimTime::max());
+}
+
+TEST(SimTime, ToString) {
+  EXPECT_EQ(to_string(SimTime::seconds(2.0)), "2s");
+  EXPECT_EQ(to_string(SimTime::milliseconds(3)), "3ms");
+  EXPECT_EQ(to_string(SimTime::microseconds(320)), "320us");
+  EXPECT_EQ(to_string(SimTime::nanoseconds(7)), "7ns");
+}
+
+}  // namespace
+}  // namespace nomc::sim

@@ -1,0 +1,89 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "net/scenario.hpp"
+#include "sim/scheduler.hpp"
+
+namespace nomc {
+namespace {
+
+TEST(Trace, MemorySinkCollectsAndCounts) {
+  sim::MemoryTraceSink sink;
+  sink.emit({.at = sim::SimTime::microseconds(1), .category = "mac", .event = "cca_busy"});
+  sink.emit({.at = sim::SimTime::microseconds(2), .category = "mac", .event = "cca_busy"});
+  sink.emit({.at = sim::SimTime::microseconds(3), .category = "phy", .event = "tx_start"});
+  EXPECT_EQ(sink.records().size(), 3u);
+  EXPECT_EQ(sink.count("mac", "cca_busy"), 2u);
+  EXPECT_EQ(sink.count("mac", ""), 2u);
+  EXPECT_EQ(sink.count("", "tx_start"), 1u);
+  EXPECT_EQ(sink.count("", ""), 3u);
+  sink.clear();
+  EXPECT_TRUE(sink.records().empty());
+}
+
+TEST(Trace, SchedulerStampsAndForwards) {
+  sim::Scheduler scheduler;
+  sim::MemoryTraceSink sink;
+  scheduler.set_trace(&sink);
+  scheduler.schedule_at(sim::SimTime::milliseconds(5), [&] {
+    scheduler.trace_event({.category = "test", .event = "tick", .node = 7, .value = 1.5});
+  });
+  scheduler.run_all();
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].at, sim::SimTime::milliseconds(5));
+  EXPECT_EQ(sink.records()[0].node, 7u);
+  EXPECT_EQ(sink.records()[0].value, 1.5);
+}
+
+TEST(Trace, NoSinkNoEmission) {
+  sim::Scheduler scheduler;
+  // Must be a no-op, not a crash.
+  scheduler.trace_event({.category = "test", .event = "tick"});
+  EXPECT_EQ(scheduler.trace(), nullptr);
+}
+
+TEST(Trace, ScenarioEmitsStackEvents) {
+  net::Scenario scenario;
+  sim::MemoryTraceSink sink;
+  scenario.scheduler().set_trace(&sink);
+
+  const int n = scenario.add_network(phy::Mhz{2460.0}, net::Scheme::kDcn);
+  net::LinkSpec link;
+  link.sender_pos = {0.0, 0.0};
+  link.receiver_pos = {0.0, 2.0};
+  scenario.add_link(n, link);
+  net::LinkSpec link2;
+  link2.sender_pos = {1.0, 0.0};
+  link2.receiver_pos = {1.0, 2.0};
+  scenario.add_link(n, link2);
+  scenario.run(sim::SimTime::seconds(2.0), sim::SimTime::seconds(1.0));
+
+  EXPECT_GT(sink.count("phy", "tx_start"), 100u);
+  EXPECT_GT(sink.count("phy", "rx_ok"), 100u);
+  EXPECT_GT(sink.count("mac", "cca_busy"), 0u);   // two saturated co-channel links
+  EXPECT_EQ(sink.count("dcn", "threshold_init"), 2u);  // one per DCN sender
+}
+
+TEST(Trace, CsvSinkWritesParsableLines) {
+  const std::string path = "trace_test_out.csv";
+  {
+    sim::CsvTraceSink sink{path};
+    sink.emit({.at = sim::SimTime::microseconds(1500), .category = "mac",
+               .event = "cca_busy", .node = 3, .value = -76.5, .detail = "x"});
+  }
+  std::ifstream in{path};
+  std::string header;
+  std::string line;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(header, "time_us,category,event,node,value,detail");
+  EXPECT_EQ(line, "1500.000,mac,cca_busy,3,-76.5,x");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nomc

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "stats/cdf.hpp"
+#include "stats/counters.hpp"
+#include "stats/fairness.hpp"
+#include "stats/table.hpp"
+#include "stats/throughput.hpp"
+
+namespace nomc::stats {
+namespace {
+
+TEST(Counters, PrrAndDefaults) {
+  PacketCounters counters;
+  EXPECT_EQ(counters.prr(), 1.0);  // idle link has not failed
+  counters.sent = 10;
+  counters.received = 7;
+  EXPECT_DOUBLE_EQ(counters.prr(), 0.7);
+}
+
+TEST(Counters, Cprr) {
+  PacketCounters counters;
+  EXPECT_EQ(counters.cprr(), 1.0);
+  counters.collided = 100;
+  counters.collided_received = 70;
+  EXPECT_DOUBLE_EQ(counters.cprr(), 0.7);
+}
+
+TEST(Counters, Accumulate) {
+  PacketCounters a;
+  a.sent = 5;
+  a.cca_backoffs = 2;
+  PacketCounters b;
+  b.sent = 3;
+  b.received = 3;
+  b.collided = 1;
+  a += b;
+  EXPECT_EQ(a.sent, 8u);
+  EXPECT_EQ(a.received, 3u);
+  EXPECT_EQ(a.cca_backoffs, 2u);
+  EXPECT_EQ(a.collided, 1u);
+}
+
+TEST(Cdf, EmptyBehaviour) {
+  CdfAccumulator cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.fraction_at_or_below(1.0), 0.0);
+  EXPECT_TRUE(cdf.curve(10).empty());
+}
+
+TEST(Cdf, FractionAtOrBelow) {
+  CdfAccumulator cdf;
+  for (const double v : {0.1, 0.2, 0.3, 0.4}) cdf.add(v);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.05), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.1), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 1.0);
+}
+
+TEST(Cdf, Quantiles) {
+  CdfAccumulator cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 50.5);
+}
+
+TEST(Cdf, InterleavedAddAndQuery) {
+  CdfAccumulator cdf;
+  cdf.add(2.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.0), 1.0);
+  cdf.add(1.0);  // must re-sort transparently
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+}
+
+TEST(Cdf, CurvePoints) {
+  CdfAccumulator cdf;
+  for (const double v : {0.0, 1.0}) cdf.add(v);
+  const auto curve = cdf.curve(3);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Fairness, JainBounds) {
+  const double equal[] = {10.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(jain_index(equal), 1.0);
+  const double starved[] = {30.0, 0.0, 0.0};
+  EXPECT_NEAR(jain_index(starved), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(jain_index({}), 1.0);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(Fairness, JainIntermediate) {
+  const double values[] = {200.0, 250.0};
+  // (450)^2 / (2 * (40000+62500)) = 202500/205000
+  EXPECT_NEAR(jain_index(values), 0.98780, 1e-4);
+}
+
+TEST(Fairness, RelativeSpread) {
+  const double values[] = {259.3, 260.8, 261.9, 272.5, 272.9, 273.4};  // paper Table I
+  EXPECT_NEAR(relative_spread(values), 0.0529, 1e-3);                  // ~5 % spread
+  EXPECT_EQ(relative_spread({}), 0.0);
+  const double equal[] = {5.0, 5.0};
+  EXPECT_EQ(relative_spread(equal), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter table{{"a", "long-header", "c"}};
+  table.add_row({"1", "2", "3"});
+  table.add_row({"wide-cell", "x"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("a          long-header  c"), std::string::npos);
+  EXPECT_NE(out.find("---------  -----------  -"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell  x"), std::string::npos);
+  // Short rows are padded, not dropped.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(1234.6, 0), "1235");
+  EXPECT_EQ(TablePrinter::num(-77.0, 1), "-77.0");
+}
+
+TEST(Throughput, WindowedCounting) {
+  ThroughputMeter meter;
+  meter.set_window(sim::SimTime::seconds(1.0), sim::SimTime::seconds(3.0));
+  meter.record_delivery(sim::SimTime::seconds(0.5));  // before window
+  meter.record_delivery(sim::SimTime::seconds(1.0));  // inclusive start
+  meter.record_delivery(sim::SimTime::seconds(2.0));
+  meter.record_delivery(sim::SimTime::seconds(3.0));  // exclusive end
+  EXPECT_EQ(meter.deliveries(), 2u);
+  EXPECT_DOUBLE_EQ(meter.packets_per_second(), 1.0);
+}
+
+TEST(Throughput, DegenerateWindow) {
+  ThroughputMeter meter;
+  meter.set_window(sim::SimTime::seconds(2.0), sim::SimTime::seconds(2.0));
+  meter.record_delivery(sim::SimTime::seconds(2.0));
+  EXPECT_EQ(meter.packets_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace nomc::stats

@@ -1,0 +1,77 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace nomc::stats {
+namespace {
+
+TEST(Summary, EmptyAndSingle) {
+  SummaryStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+  EXPECT_EQ(stats.ci95_half_width(), 0.0);
+  stats.add(42.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 42.0);
+  EXPECT_EQ(stats.stddev(), 0.0);  // undefined; reported as 0
+}
+
+TEST(Summary, KnownSmallSample) {
+  SummaryStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance = 32/7.
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  // t(7 dof) = 2.365.
+  EXPECT_NEAR(stats.ci95_half_width(), 2.365 * stats.stddev() / std::sqrt(8.0), 1e-9);
+}
+
+TEST(Summary, ConstantSamplesHaveZeroSpread) {
+  SummaryStats stats;
+  for (int i = 0; i < 10; ++i) stats.add(3.25);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.25);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ci95_half_width(), 0.0);
+}
+
+TEST(Summary, CiShrinksWithSamples) {
+  sim::RandomStream rng{1, 0};
+  SummaryStats small;
+  SummaryStats large;
+  for (int i = 0; i < 5; ++i) small.add(rng.normal(10.0, 2.0));
+  for (int i = 0; i < 500; ++i) large.add(rng.normal(10.0, 2.0));
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+  // The wide sample's CI should cover the true mean.
+  EXPECT_NEAR(large.mean(), 10.0, 3.0 * large.ci95_half_width() + 0.3);
+}
+
+TEST(Summary, GaussianCoverage) {
+  // ~95 % of 95 % CIs over repeated experiments should contain the truth.
+  sim::RandomStream rng{7, 0};
+  int covered = 0;
+  const int experiments = 400;
+  for (int e = 0; e < experiments; ++e) {
+    SummaryStats stats;
+    for (int i = 0; i < 10; ++i) stats.add(rng.normal(0.0, 1.0));
+    if (std::abs(stats.mean()) <= stats.ci95_half_width()) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / experiments;
+  EXPECT_GT(coverage, 0.90);
+  EXPECT_LT(coverage, 0.99);
+}
+
+TEST(Summary, NumericalStabilityWithLargeOffset) {
+  // Welford must not cancel catastrophically around a large mean.
+  SummaryStats stats;
+  for (const double v : {1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0}) stats.add(v);
+  EXPECT_NEAR(stats.mean(), 1e9 + 2.0, 1e-6);
+  EXPECT_NEAR(stats.stddev(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace nomc::stats

@@ -1,0 +1,118 @@
+#include "wifi/interferer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "mac/cca.hpp"
+#include "mac/csma.hpp"
+#include "phy/radio.hpp"
+
+namespace nomc::wifi {
+namespace {
+
+TEST(EmissionMask, WideAndMonotone) {
+  const phy::ChannelRejection& mask = emission_mask();
+  EXPECT_EQ(mask.attenuation(phy::Mhz{0.0}).value, 0.0);
+  // Still leaking strongly at 15-20 MHz (the coexistence mechanism).
+  EXPECT_LT(mask.attenuation(phy::Mhz{16.0}).value, 15.0);
+  EXPECT_GT(mask.attenuation(phy::Mhz{30.0}).value, 40.0);
+}
+
+TEST(WifiInterferer, DutyCycleBursts) {
+  sim::Scheduler scheduler;
+  phy::Medium medium;
+  WifiInterfererConfig config;
+  config.burst = sim::SimTime::milliseconds(2);
+  config.period = sim::SimTime::milliseconds(10);
+  WifiInterferer ap{scheduler, medium, {0.0, 0.0}, config};
+  ap.start();
+  scheduler.run_until(sim::SimTime::seconds(1.0));
+  EXPECT_NEAR(static_cast<double>(ap.bursts()), 100.0, 2.0);
+  ap.stop();
+  scheduler.run_until(sim::SimTime::seconds(2.0));
+  const auto bursts = ap.bursts();
+  scheduler.run_until(sim::SimTime::seconds(3.0));
+  EXPECT_EQ(ap.bursts(), bursts);
+  EXPECT_EQ(medium.active_count(), 0u);  // no burst left dangling
+}
+
+TEST(WifiInterferer, WidebandEnergyReachesFarChannels) {
+  sim::Scheduler scheduler;
+  phy::MediumConfig medium_config;
+  medium_config.shadowing_sigma_db = 0.0;
+  phy::Medium medium{medium_config};
+
+  const phy::NodeId sensor = medium.add_node({5.0, 0.0});
+  WifiInterfererConfig config;
+  config.center = phy::Mhz{2442.0};
+  config.tx_power = phy::Dbm{15.0};
+  WifiInterferer ap{scheduler, medium, {0.0, 0.0}, config};
+
+  // Narrowband 802.15.4 frame at the same offset for comparison.
+  const phy::NodeId narrow = medium.add_node({0.0, 0.0});
+  phy::Frame narrow_frame;
+  narrow_frame.id = medium.allocate_frame_id();
+  narrow_frame.src = narrow;
+  narrow_frame.channel = phy::Mhz{2442.0};
+  narrow_frame.tx_power = phy::Dbm{15.0};
+  narrow_frame.psdu_bytes = 100;
+  medium.begin_tx(narrow_frame);
+  // 2460 is 18 MHz away: a narrowband transmitter is rejected to ~floor.
+  const double narrow_sensed = medium.sense_energy(sensor, phy::Mhz{2460.0}).value;
+  medium.end_tx(narrow_frame.id);
+
+  ap.start();
+  scheduler.run_until(config.period + sim::SimTime::microseconds(100));  // mid-burst
+  ASSERT_EQ(medium.active_count(), 1u);
+  const double wifi_sensed = medium.sense_energy(sensor, phy::Mhz{2460.0}).value;
+
+  // The Wi-Fi emission mask (~12 dB at 18 MHz) dominates the receiver's
+  // ~58 dB rejection: the wideband interferer is FAR louder in-channel.
+  EXPECT_GT(wifi_sensed, narrow_sensed + 30.0);
+  EXPECT_GT(wifi_sensed, -80.0);  // enough to trip a -77 dBm CCA nearby
+}
+
+TEST(WifiInterferer, FixedCcaDefersDcnThresholdDoesNot) {
+  // One sensor link 60 m... rather: place the AP so its skirt sits between
+  // the default -77 dBm threshold and a DCN-relaxed -50 dBm threshold.
+  sim::Scheduler scheduler;
+  phy::MediumConfig medium_config;
+  medium_config.shadowing_sigma_db = 0.0;
+  phy::Medium medium{medium_config};
+
+  const phy::NodeId tx = medium.add_node({0.0, 0.0});
+  const phy::NodeId rx = medium.add_node({0.0, 2.0});
+  phy::RadioConfig radio_config;
+  radio_config.channel = phy::Mhz{2460.0};
+  phy::Radio tx_radio{scheduler, medium, sim::RandomStream{1, 0}, tx, radio_config};
+  phy::Radio rx_radio{scheduler, medium, sim::RandomStream{1, 1}, rx, radio_config};
+
+  WifiInterfererConfig config;
+  config.center = phy::Mhz{2442.0};
+  config.tx_power = phy::Dbm{15.0};
+  config.burst = sim::SimTime::milliseconds(9);
+  config.period = sim::SimTime::milliseconds(10);  // ~90 % duty: constant-ish
+  WifiInterferer ap{scheduler, medium, {3.0, 0.0}, config};
+  ap.start();
+
+  mac::FixedCcaThreshold zigbee{mac::kZigbeeDefaultCcaThreshold};
+  mac::CsmaMac sender{scheduler, medium, tx_radio, sim::RandomStream{1, 2}, zigbee};
+  mac::CsmaMac receiver{scheduler, medium, rx_radio, sim::RandomStream{1, 3}, zigbee};
+
+  sender.set_saturated(mac::TxRequest{rx, 100});
+  scheduler.run_until(sim::SimTime::seconds(2.0));
+  const auto deferred_sent = sender.counters().sent;
+
+  zigbee.set(phy::Dbm{-50.0});  // what a DCN adjustor would settle near
+  scheduler.run_until(sim::SimTime::seconds(4.0));
+  const auto relaxed_sent = sender.counters().sent - deferred_sent;
+
+  EXPECT_LT(deferred_sent, relaxed_sent / 2);
+  // And the relaxed transmissions still get through: the skirt is well
+  // below the wanted signal at the receiver.
+  EXPECT_GT(receiver.counters().received, relaxed_sent * 8 / 10);
+}
+
+}  // namespace
+}  // namespace nomc::wifi
