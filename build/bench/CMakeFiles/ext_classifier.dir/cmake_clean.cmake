@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_classifier.dir/ext_classifier.cpp.o"
+  "CMakeFiles/ext_classifier.dir/ext_classifier.cpp.o.d"
+  "ext_classifier"
+  "ext_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_collection.dir/ext_collection.cpp.o"
+  "CMakeFiles/ext_collection.dir/ext_collection.cpp.o.d"
+  "ext_collection"
+  "ext_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ppr.dir/ext_ppr.cpp.o"
+  "CMakeFiles/ext_ppr.dir/ext_ppr.cpp.o.d"
+  "ext_ppr"
+  "ext_ppr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_cfd_throughput.dir/fig01_cfd_throughput.cpp.o"
+  "CMakeFiles/fig01_cfd_throughput.dir/fig01_cfd_throughput.cpp.o.d"
+  "fig01_cfd_throughput"
+  "fig01_cfd_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cfd_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_uniqueness.dir/fig02_uniqueness.cpp.o"
+  "CMakeFiles/fig02_uniqueness.dir/fig02_uniqueness.cpp.o.d"
+  "fig02_uniqueness"
+  "fig02_uniqueness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cprr.dir/fig04_cprr.cpp.o"
+  "CMakeFiles/fig04_cprr.dir/fig04_cprr.cpp.o.d"
+  "fig04_cprr"
+  "fig04_cprr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cprr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

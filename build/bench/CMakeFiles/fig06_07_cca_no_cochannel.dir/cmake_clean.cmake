@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_07_cca_no_cochannel.dir/fig06_07_cca_no_cochannel.cpp.o"
+  "CMakeFiles/fig06_07_cca_no_cochannel.dir/fig06_07_cca_no_cochannel.cpp.o.d"
+  "fig06_07_cca_no_cochannel"
+  "fig06_07_cca_no_cochannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_07_cca_no_cochannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

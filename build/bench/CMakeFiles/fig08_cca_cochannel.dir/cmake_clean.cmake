@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cca_cochannel.dir/fig08_cca_cochannel.cpp.o"
+  "CMakeFiles/fig08_cca_cochannel.dir/fig08_cca_cochannel.cpp.o.d"
+  "fig08_cca_cochannel"
+  "fig08_cca_cochannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cca_cochannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

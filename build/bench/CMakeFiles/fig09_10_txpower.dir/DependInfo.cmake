@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_10_txpower.cpp" "bench/CMakeFiles/fig09_10_txpower.dir/fig09_10_txpower.cpp.o" "gcc" "bench/CMakeFiles/fig09_10_txpower.dir/fig09_10_txpower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/nomc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/nomc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/nomc_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppr/CMakeFiles/nomc_ppr.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/nomc_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcn/CMakeFiles/nomc_dcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/nomc_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nomc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nomc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

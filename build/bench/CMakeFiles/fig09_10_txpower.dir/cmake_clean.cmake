@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_txpower.dir/fig09_10_txpower.cpp.o"
+  "CMakeFiles/fig09_10_txpower.dir/fig09_10_txpower.cpp.o.d"
+  "fig09_10_txpower"
+  "fig09_10_txpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_txpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_dcn_n0_only.dir/fig14_15_dcn_n0_only.cpp.o"
+  "CMakeFiles/fig14_15_dcn_n0_only.dir/fig14_15_dcn_n0_only.cpp.o.d"
+  "fig14_15_dcn_n0_only"
+  "fig14_15_dcn_n0_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_dcn_n0_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

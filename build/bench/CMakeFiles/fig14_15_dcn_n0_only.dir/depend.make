@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_15_dcn_n0_only.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_18_dcn_all.dir/fig16_18_dcn_all.cpp.o"
+  "CMakeFiles/fig16_18_dcn_all.dir/fig16_18_dcn_all.cpp.o.d"
+  "fig16_18_dcn_all"
+  "fig16_18_dcn_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_18_dcn_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_zigbee_vs_dcn.dir/fig19_zigbee_vs_dcn.cpp.o"
+  "CMakeFiles/fig19_zigbee_vs_dcn.dir/fig19_zigbee_vs_dcn.cpp.o.d"
+  "fig19_zigbee_vs_dcn"
+  "fig19_zigbee_vs_dcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_zigbee_vs_dcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_zigbee_vs_dcn.
+# This may be replaced when dependencies are built.

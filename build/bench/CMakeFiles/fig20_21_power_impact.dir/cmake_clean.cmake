@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_21_power_impact.dir/fig20_21_power_impact.cpp.o"
+  "CMakeFiles/fig20_21_power_impact.dir/fig20_21_power_impact.cpp.o.d"
+  "fig20_21_power_impact"
+  "fig20_21_power_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_21_power_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig20_21_power_impact.
+# This may be replaced when dependencies are built.

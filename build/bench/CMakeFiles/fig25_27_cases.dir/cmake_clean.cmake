@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_27_cases.dir/fig25_27_cases.cpp.o"
+  "CMakeFiles/fig25_27_cases.dir/fig25_27_cases.cpp.o.d"
+  "fig25_27_cases"
+  "fig25_27_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_27_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig28_29_recovery.dir/fig28_29_recovery.cpp.o"
+  "CMakeFiles/fig28_29_recovery.dir/fig28_29_recovery.cpp.o.d"
+  "fig28_29_recovery"
+  "fig28_29_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig28_29_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig28_29_recovery.
+# This may be replaced when dependencies are built.

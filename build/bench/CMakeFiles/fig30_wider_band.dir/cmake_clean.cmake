@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig30_wider_band.dir/fig30_wider_band.cpp.o"
+  "CMakeFiles/fig30_wider_band.dir/fig30_wider_band.cpp.o.d"
+  "fig30_wider_band"
+  "fig30_wider_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig30_wider_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig30_wider_band.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fairness.dir/table1_fairness.cpp.o"
+  "CMakeFiles/table1_fairness.dir/table1_fairness.cpp.o.d"
+  "table1_fairness"
+  "table1_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_survey.dir/channel_survey.cpp.o"
+  "CMakeFiles/channel_survey.dir/channel_survey.cpp.o.d"
+  "channel_survey"
+  "channel_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

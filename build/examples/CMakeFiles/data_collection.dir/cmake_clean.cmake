@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_collection.dir/data_collection.cpp.o"
+  "CMakeFiles/data_collection.dir/data_collection.cpp.o.d"
+  "data_collection"
+  "data_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_building.dir/office_building.cpp.o"
+  "CMakeFiles/office_building.dir/office_building.cpp.o.d"
+  "office_building"
+  "office_building.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_building.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_field.dir/random_field.cpp.o"
+  "CMakeFiles/random_field.dir/random_field.cpp.o.d"
+  "random_field"
+  "random_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

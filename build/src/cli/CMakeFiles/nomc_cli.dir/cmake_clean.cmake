@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_cli.dir/args.cpp.o"
+  "CMakeFiles/nomc_cli.dir/args.cpp.o.d"
+  "libnomc_cli.a"
+  "libnomc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

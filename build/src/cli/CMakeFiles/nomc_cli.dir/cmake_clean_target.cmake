@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnomc_cli.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_collect.dir/collection.cpp.o"
+  "CMakeFiles/nomc_collect.dir/collection.cpp.o.d"
+  "libnomc_collect.a"
+  "libnomc_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

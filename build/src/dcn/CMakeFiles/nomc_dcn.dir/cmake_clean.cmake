@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_dcn.dir/cca_adjustor.cpp.o"
+  "CMakeFiles/nomc_dcn.dir/cca_adjustor.cpp.o.d"
+  "CMakeFiles/nomc_dcn.dir/recovery.cpp.o"
+  "CMakeFiles/nomc_dcn.dir/recovery.cpp.o.d"
+  "libnomc_dcn.a"
+  "libnomc_dcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_dcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nomc_dcn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_mac.dir/attacker.cpp.o"
+  "CMakeFiles/nomc_mac.dir/attacker.cpp.o.d"
+  "CMakeFiles/nomc_mac.dir/csma.cpp.o"
+  "CMakeFiles/nomc_mac.dir/csma.cpp.o.d"
+  "CMakeFiles/nomc_mac.dir/traffic.cpp.o"
+  "CMakeFiles/nomc_mac.dir/traffic.cpp.o.d"
+  "libnomc_mac.a"
+  "libnomc_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnomc_mac.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_net.dir/scenario.cpp.o"
+  "CMakeFiles/nomc_net.dir/scenario.cpp.o.d"
+  "CMakeFiles/nomc_net.dir/topology.cpp.o"
+  "CMakeFiles/nomc_net.dir/topology.cpp.o.d"
+  "libnomc_net.a"
+  "libnomc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel_plan.cpp" "src/phy/CMakeFiles/nomc_phy.dir/channel_plan.cpp.o" "gcc" "src/phy/CMakeFiles/nomc_phy.dir/channel_plan.cpp.o.d"
+  "/root/repo/src/phy/energy.cpp" "src/phy/CMakeFiles/nomc_phy.dir/energy.cpp.o" "gcc" "src/phy/CMakeFiles/nomc_phy.dir/energy.cpp.o.d"
+  "/root/repo/src/phy/medium.cpp" "src/phy/CMakeFiles/nomc_phy.dir/medium.cpp.o" "gcc" "src/phy/CMakeFiles/nomc_phy.dir/medium.cpp.o.d"
+  "/root/repo/src/phy/modulation.cpp" "src/phy/CMakeFiles/nomc_phy.dir/modulation.cpp.o" "gcc" "src/phy/CMakeFiles/nomc_phy.dir/modulation.cpp.o.d"
+  "/root/repo/src/phy/path_loss.cpp" "src/phy/CMakeFiles/nomc_phy.dir/path_loss.cpp.o" "gcc" "src/phy/CMakeFiles/nomc_phy.dir/path_loss.cpp.o.d"
+  "/root/repo/src/phy/radio.cpp" "src/phy/CMakeFiles/nomc_phy.dir/radio.cpp.o" "gcc" "src/phy/CMakeFiles/nomc_phy.dir/radio.cpp.o.d"
+  "/root/repo/src/phy/rejection.cpp" "src/phy/CMakeFiles/nomc_phy.dir/rejection.cpp.o" "gcc" "src/phy/CMakeFiles/nomc_phy.dir/rejection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nomc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_phy.dir/channel_plan.cpp.o"
+  "CMakeFiles/nomc_phy.dir/channel_plan.cpp.o.d"
+  "CMakeFiles/nomc_phy.dir/energy.cpp.o"
+  "CMakeFiles/nomc_phy.dir/energy.cpp.o.d"
+  "CMakeFiles/nomc_phy.dir/medium.cpp.o"
+  "CMakeFiles/nomc_phy.dir/medium.cpp.o.d"
+  "CMakeFiles/nomc_phy.dir/modulation.cpp.o"
+  "CMakeFiles/nomc_phy.dir/modulation.cpp.o.d"
+  "CMakeFiles/nomc_phy.dir/path_loss.cpp.o"
+  "CMakeFiles/nomc_phy.dir/path_loss.cpp.o.d"
+  "CMakeFiles/nomc_phy.dir/radio.cpp.o"
+  "CMakeFiles/nomc_phy.dir/radio.cpp.o.d"
+  "CMakeFiles/nomc_phy.dir/rejection.cpp.o"
+  "CMakeFiles/nomc_phy.dir/rejection.cpp.o.d"
+  "libnomc_phy.a"
+  "libnomc_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

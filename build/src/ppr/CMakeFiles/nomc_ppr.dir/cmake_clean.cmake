@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_ppr.dir/ppr.cpp.o"
+  "CMakeFiles/nomc_ppr.dir/ppr.cpp.o.d"
+  "libnomc_ppr.a"
+  "libnomc_ppr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

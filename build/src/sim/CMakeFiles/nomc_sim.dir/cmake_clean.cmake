@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_sim.dir/random.cpp.o"
+  "CMakeFiles/nomc_sim.dir/random.cpp.o.d"
+  "CMakeFiles/nomc_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/nomc_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/nomc_sim.dir/time.cpp.o"
+  "CMakeFiles/nomc_sim.dir/time.cpp.o.d"
+  "CMakeFiles/nomc_sim.dir/trace.cpp.o"
+  "CMakeFiles/nomc_sim.dir/trace.cpp.o.d"
+  "libnomc_sim.a"
+  "libnomc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

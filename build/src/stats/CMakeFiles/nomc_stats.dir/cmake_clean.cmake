@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_stats.dir/cdf.cpp.o"
+  "CMakeFiles/nomc_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/nomc_stats.dir/fairness.cpp.o"
+  "CMakeFiles/nomc_stats.dir/fairness.cpp.o.d"
+  "CMakeFiles/nomc_stats.dir/summary.cpp.o"
+  "CMakeFiles/nomc_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/nomc_stats.dir/table.cpp.o"
+  "CMakeFiles/nomc_stats.dir/table.cpp.o.d"
+  "libnomc_stats.a"
+  "libnomc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

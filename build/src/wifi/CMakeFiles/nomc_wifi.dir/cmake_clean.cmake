@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_wifi.dir/contrast.cpp.o"
+  "CMakeFiles/nomc_wifi.dir/contrast.cpp.o.d"
+  "CMakeFiles/nomc_wifi.dir/interferer.cpp.o"
+  "CMakeFiles/nomc_wifi.dir/interferer.cpp.o.d"
+  "libnomc_wifi.a"
+  "libnomc_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

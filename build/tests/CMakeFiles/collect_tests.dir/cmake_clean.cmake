@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collect_tests.dir/collect/collection_test.cpp.o"
+  "CMakeFiles/collect_tests.dir/collect/collection_test.cpp.o.d"
+  "collect_tests"
+  "collect_tests.pdb"
+  "collect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_tests.dir/dcn/adjustor_test.cpp.o"
+  "CMakeFiles/dcn_tests.dir/dcn/adjustor_test.cpp.o.d"
+  "CMakeFiles/dcn_tests.dir/dcn/recovery_test.cpp.o"
+  "CMakeFiles/dcn_tests.dir/dcn/recovery_test.cpp.o.d"
+  "dcn_tests"
+  "dcn_tests.pdb"
+  "dcn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mac/ack_test.cpp" "tests/CMakeFiles/mac_tests.dir/mac/ack_test.cpp.o" "gcc" "tests/CMakeFiles/mac_tests.dir/mac/ack_test.cpp.o.d"
+  "/root/repo/tests/mac/attacker_test.cpp" "tests/CMakeFiles/mac_tests.dir/mac/attacker_test.cpp.o" "gcc" "tests/CMakeFiles/mac_tests.dir/mac/attacker_test.cpp.o.d"
+  "/root/repo/tests/mac/cca_mode_test.cpp" "tests/CMakeFiles/mac_tests.dir/mac/cca_mode_test.cpp.o" "gcc" "tests/CMakeFiles/mac_tests.dir/mac/cca_mode_test.cpp.o.d"
+  "/root/repo/tests/mac/csma_test.cpp" "tests/CMakeFiles/mac_tests.dir/mac/csma_test.cpp.o" "gcc" "tests/CMakeFiles/mac_tests.dir/mac/csma_test.cpp.o.d"
+  "/root/repo/tests/mac/traffic_test.cpp" "tests/CMakeFiles/mac_tests.dir/mac/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/mac_tests.dir/mac/traffic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/nomc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/nomc_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/nomc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppr/CMakeFiles/nomc_ppr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/nomc_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/nomc_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcn/CMakeFiles/nomc_dcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/nomc_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/nomc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nomc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

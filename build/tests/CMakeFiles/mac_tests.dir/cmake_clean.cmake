@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_tests.dir/mac/ack_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/ack_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/attacker_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/attacker_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/cca_mode_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/cca_mode_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/csma_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/csma_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/traffic_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/traffic_test.cpp.o.d"
+  "mac_tests"
+  "mac_tests.pdb"
+  "mac_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_tests.dir/phy/block_map_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/block_map_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/energy_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/energy_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/medium_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/medium_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/modulation_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/modulation_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/path_loss_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/path_loss_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/plan_timing_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/plan_timing_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/radio_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/radio_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/rejection_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/rejection_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/units_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/units_test.cpp.o.d"
+  "phy_tests"
+  "phy_tests.pdb"
+  "phy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_tests.dir/ppr/ppr_test.cpp.o"
+  "CMakeFiles/ppr_tests.dir/ppr/ppr_test.cpp.o.d"
+  "ppr_tests"
+  "ppr_tests.pdb"
+  "ppr_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

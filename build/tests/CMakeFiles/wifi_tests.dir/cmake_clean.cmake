@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_tests.dir/wifi/contrast_test.cpp.o"
+  "CMakeFiles/wifi_tests.dir/wifi/contrast_test.cpp.o.d"
+  "CMakeFiles/wifi_tests.dir/wifi/interferer_test.cpp.o"
+  "CMakeFiles/wifi_tests.dir/wifi/interferer_test.cpp.o.d"
+  "wifi_tests"
+  "wifi_tests.pdb"
+  "wifi_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/phy_tests[1]_include.cmake")
+include("/root/repo/build/tests/mac_tests[1]_include.cmake")
+include("/root/repo/build/tests/dcn_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/cli_tests[1]_include.cmake")
+include("/root/repo/build/tests/ppr_tests[1]_include.cmake")
+include("/root/repo/build/tests/wifi_tests[1]_include.cmake")
+include("/root/repo/build/tests/collect_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

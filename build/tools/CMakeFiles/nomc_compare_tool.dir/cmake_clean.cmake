@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_compare_tool.dir/nomc_compare.cpp.o"
+  "CMakeFiles/nomc_compare_tool.dir/nomc_compare.cpp.o.d"
+  "nomc-compare"
+  "nomc-compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_compare_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

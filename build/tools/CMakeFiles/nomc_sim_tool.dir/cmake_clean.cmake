@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomc_sim_tool.dir/nomc_sim.cpp.o"
+  "CMakeFiles/nomc_sim_tool.dir/nomc_sim.cpp.o.d"
+  "nomc-sim"
+  "nomc-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomc_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

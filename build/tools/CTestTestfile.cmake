@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_nomc_sim_help "/root/repo/build/tools/nomc-sim" "--help")
+set_tests_properties(tool_nomc_sim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_nomc_sim_run "/root/repo/build/tools/nomc-sim" "--channels" "2" "--measure" "2" "--power" "0")
+set_tests_properties(tool_nomc_sim_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_nomc_compare_run "/root/repo/build/tools/nomc-compare" "--trials" "2" "--measure" "2" "--a-channels" "2" "--b-channels" "3" "--power" "0")
+set_tests_properties(tool_nomc_compare_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_nomc_sim_rejects_bad_flag "/root/repo/build/tools/nomc-sim" "--bogus")
+set_tests_properties(tool_nomc_sim_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
