@@ -11,6 +11,7 @@
 #include "net/scenario.hpp"
 #include "net/topology.hpp"
 #include "phy/channel_plan.hpp"
+#include "sim/parallel.hpp"
 #include "stats/table.hpp"
 
 namespace nomc::bench {
@@ -26,61 +27,35 @@ struct BandRunParams {
   /// Independent testbed layouts averaged per data point (the paper reports
   /// time-averaged testbed runs; seeds play the role of re-deployments).
   int trials = 3;
+  /// Worker threads for the trial replication (1 = serial on the calling
+  /// thread, 0 = all hardware threads). Results are bit-identical across
+  /// job counts: trials are merged in seed order, not completion order.
+  int jobs = 1;
   phy::Dbm fixed_cca = mac::kZigbeeDefaultCcaThreshold;
 };
+
+/// Seed of trial `trial`: distinct deployments, reproducible per data point.
+inline std::uint64_t trial_seed(const BandRunParams& params, int trial) {
+  return params.seed + static_cast<std::uint64_t>(trial) * 1000003;
+}
 
 struct BandResult {
   std::vector<double> per_network_pps;  ///< mean across trials
   double overall_pps = 0.0;
 };
 
-/// Run `specs` wholesale under one scheme and collect throughput.
-inline BandResult run_specs(std::span<const net::NetworkSpec> specs, net::Scheme scheme,
-                            const BandRunParams& params, std::uint64_t seed) {
-  net::ScenarioConfig config;
-  config.seed = seed;
-  config.fixed_cca_threshold = params.fixed_cca;
-  net::Scenario scenario{config};
-  scenario.add_networks(specs, scheme);
-  scenario.run(params.warmup, params.measure);
-
-  BandResult result;
-  result.per_network_pps = scenario.network_throughputs();
-  result.overall_pps = scenario.overall_throughput();
-  return result;
-}
-
-/// The standard evaluation deployment: all networks in one dense interfering
-/// region (the testbed's lab bench; also the paper's Case I), one network
-/// per channel, averaged over `params.trials` random layouts.
-inline BandResult run_band(std::span<const phy::Mhz> channels, net::Scheme scheme,
-                           const BandRunParams& params = {}) {
-  BandResult mean;
-  mean.per_network_pps.assign(channels.size(), 0.0);
-  for (int trial = 0; trial < params.trials; ++trial) {
-    const std::uint64_t seed = params.seed + static_cast<std::uint64_t>(trial) * 1000003;
-    sim::RandomStream placement{seed, /*index=*/999};
-    const auto specs = net::case1_dense(channels, placement, params.topology);
-    const BandResult one = run_specs(specs, scheme, params, seed);
-    for (std::size_t i = 0; i < channels.size(); ++i) {
-      mean.per_network_pps[i] += one.per_network_pps[i];
-    }
-    mean.overall_pps += one.overall_pps;
-  }
-  for (double& v : mean.per_network_pps) v /= params.trials;
-  mean.overall_pps /= params.trials;
-  return mean;
-}
-
 /// Dense-region deployment with a per-network scheme choice (e.g. DCN only
 /// on N0 — paper Figs. 14-15). `scheme_of(i)` picks the scheme of network i.
+///
+/// Trials run on a ParallelRunner with params.jobs workers; each trial is a
+/// self-contained Scenario keyed by trial_seed(), and the per-trial results
+/// are averaged in seed order, so the answer does not depend on params.jobs.
 template <typename SchemeOf>
 inline BandResult run_band_mixed(std::span<const phy::Mhz> channels, SchemeOf&& scheme_of,
                                  const BandRunParams& params = {}) {
-  BandResult mean;
-  mean.per_network_pps.assign(channels.size(), 0.0);
-  for (int trial = 0; trial < params.trials; ++trial) {
-    const std::uint64_t seed = params.seed + static_cast<std::uint64_t>(trial) * 1000003;
+  sim::ParallelRunner runner{params.jobs};
+  const std::vector<BandResult> per_trial = runner.map(params.trials, [&](int trial) {
+    const std::uint64_t seed = trial_seed(params, trial);
     sim::RandomStream placement{seed, /*index=*/999};
     const auto specs = net::case1_dense(channels, placement, params.topology);
 
@@ -94,13 +69,32 @@ inline BandResult run_band_mixed(std::span<const phy::Mhz> channels, SchemeOf&& 
     }
     scenario.run(params.warmup, params.measure);
 
-    const auto pps = scenario.network_throughputs();
-    for (std::size_t i = 0; i < channels.size(); ++i) mean.per_network_pps[i] += pps[i];
-    mean.overall_pps += scenario.overall_throughput();
+    BandResult one;
+    one.per_network_pps = scenario.network_throughputs();
+    one.overall_pps = scenario.overall_throughput();
+    return one;
+  });
+
+  BandResult mean;
+  mean.per_network_pps.assign(channels.size(), 0.0);
+  for (const BandResult& one : per_trial) {
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      mean.per_network_pps[i] += one.per_network_pps[i];
+    }
+    mean.overall_pps += one.overall_pps;
   }
   for (double& v : mean.per_network_pps) v /= params.trials;
   mean.overall_pps /= params.trials;
   return mean;
+}
+
+/// The standard evaluation deployment: all networks in one dense interfering
+/// region (the testbed's lab bench; also the paper's Case I), one network
+/// per channel, averaged over `params.trials` random layouts. Delegates to
+/// run_band_mixed with a constant scheme.
+inline BandResult run_band(std::span<const phy::Mhz> channels, net::Scheme scheme,
+                           const BandRunParams& params = {}) {
+  return run_band_mixed(channels, [scheme](int) { return scheme; }, params);
 }
 
 /// CFD → channel list used by the motivation experiment (paper Fig. 1).

@@ -4,14 +4,42 @@
 // model.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+
 #include "phy/medium.hpp"
 #include "phy/modulation.hpp"
+#include "phy/path_loss.hpp"
+#include "sim/parallel.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
 namespace {
 
 using namespace nomc;
+
+/// A medium with `active` frames on the air and node 0 as the observer.
+/// Mirrors a dense band: one frame per node, channels cycling at 3 MHz.
+phy::Medium& dense_medium(int active) {
+  static std::map<int, std::unique_ptr<phy::Medium>> cache;
+  auto& slot = cache[active];
+  if (!slot) {
+    slot = std::make_unique<phy::Medium>();
+    for (int i = 0; i < active + 1; ++i) {
+      slot->add_node({static_cast<double>(i), 0.0});
+    }
+    for (int i = 0; i < active; ++i) {
+      phy::Frame frame;
+      frame.id = slot->allocate_frame_id();
+      frame.src = static_cast<phy::NodeId>(i + 1);
+      frame.channel = phy::Mhz{2458.0 + 3.0 * (i % 6)};
+      frame.tx_power = phy::Dbm{0.0};
+      frame.psdu_bytes = 100;
+      slot->begin_tx(frame);
+    }
+  }
+  return *slot;
+}
 
 void BM_SchedulerScheduleRun(benchmark::State& state) {
   const int events = static_cast<int>(state.range(0));
@@ -45,27 +73,63 @@ void BM_SchedulerCancelHalf(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerCancelHalf)->Arg(10'000);
 
+/// Steady-state CCA cost: repeated queries about a stable active set — the
+/// regime the path-loss/shadowing memoization targets, and what a saturated
+/// CSMA sender does between backoffs.
 void BM_MediumSenseEnergy(benchmark::State& state) {
-  const int active = static_cast<int>(state.range(0));
-  phy::Medium medium;
-  for (int i = 0; i < active + 1; ++i) {
-    medium.add_node({static_cast<double>(i), 0.0});
-  }
-  for (int i = 0; i < active; ++i) {
-    phy::Frame frame;
-    frame.id = medium.allocate_frame_id();
-    frame.src = static_cast<phy::NodeId>(i + 1);
-    frame.channel = phy::Mhz{2458.0 + 3.0 * (i % 6)};
-    frame.tx_power = phy::Dbm{0.0};
-    frame.psdu_bytes = 100;
-    medium.begin_tx(frame);
-  }
+  phy::Medium& medium = dense_medium(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(medium.sense_energy(0, phy::Mhz{2464.0}));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MediumSenseEnergy)->Arg(4)->Arg(12)->Arg(24);
+
+/// Worst-case CCA cost: the observer moves before every query, so every
+/// path-loss entry involving it recomputes (shadowing stays memoized per
+/// frame). Bounds what cache invalidation costs a mobility workload.
+void BM_MediumSenseEnergyCold(benchmark::State& state) {
+  phy::Medium& medium = dense_medium(static_cast<int>(state.range(0)));
+  double y = 0.0;
+  for (auto _ : state) {
+    y = y == 0.0 ? 0.5 : 0.0;
+    medium.set_position(0, {0.0, y});
+    benchmark::DoNotOptimize(medium.sense_energy(0, phy::Mhz{2464.0}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MediumSenseEnergyCold)->Arg(4)->Arg(12)->Arg(24);
+
+/// First RSS query about a fresh frame: one uncached Box–Muller shadowing
+/// draw per iteration (the path BM_MediumSenseEnergy now amortizes away).
+void BM_ShadowingSample(benchmark::State& state) {
+  const phy::ShadowingField field{2.5, 1};
+  std::uint64_t frame_id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(field.sample(frame_id++, 7));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowingSample);
+
+/// Trial-replication scaling: N independent seeded workloads through the
+/// pool. The work per trial is pure compute, so the jobs=1 vs jobs=N ratio
+/// isolates the runner's overhead and available hardware parallelism.
+void BM_ParallelRunnerMap(benchmark::State& state) {
+  sim::ParallelRunner runner{static_cast<int>(state.range(0))};
+  constexpr int kTrials = 16;
+  for (auto _ : state) {
+    const auto results = runner.map(kTrials, [](int trial) {
+      sim::RandomStream rng{static_cast<std::uint64_t>(trial) + 1, 0};
+      double acc = 0.0;
+      for (int i = 0; i < 20'000; ++i) acc += rng.uniform();
+      return acc;
+    });
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kTrials);
+}
+BENCHMARK(BM_ParallelRunnerMap)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_OqpskBer(benchmark::State& state) {
   double sinr = -12.0;

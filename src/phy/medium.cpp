@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 namespace nomc::phy {
+
+namespace {
+constexpr double kUncomputed = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
 
 Medium::Medium(MediumConfig config)
     : config_{std::move(config)},
@@ -11,6 +17,9 @@ Medium::Medium(MediumConfig config)
 
 NodeId Medium::add_node(Vec2 position) {
   positions_.push_back(position);
+  // The cache is row-major over node_count, so growing the node set shifts
+  // every row; rebuild lazily from scratch (nodes are added at setup time).
+  loss_cache_.assign(positions_.size() * positions_.size(), kUncomputed);
   return static_cast<NodeId>(positions_.size() - 1);
 }
 
@@ -22,6 +31,28 @@ Vec2 Medium::position(NodeId node) const {
 void Medium::set_position(NodeId node, Vec2 position) {
   assert(node < positions_.size());
   positions_[node] = position;
+  // Invalidate every pair involving the moved node (its row and column).
+  const std::size_t n = positions_.size();
+  for (std::size_t other = 0; other < n; ++other) {
+    loss_cache_[node * n + other] = kUncomputed;
+    loss_cache_[other * n + node] = kUncomputed;
+  }
+}
+
+double Medium::cached_loss_db(NodeId a, NodeId b) const {
+  double& slot = loss_cache_[a * positions_.size() + b];
+  if (std::isnan(slot)) {
+    slot = config_.path_loss.loss(distance(positions_[a], positions_[b])).value;
+  }
+  return slot;
+}
+
+double Medium::cached_shadow_db(FrameId frame, NodeId rx) const {
+  std::vector<double>& draws = shadow_cache_[frame];
+  if (draws.size() < positions_.size()) draws.resize(positions_.size(), kUncomputed);
+  double& slot = draws[rx];
+  if (std::isnan(slot)) slot = shadowing_.sample(frame, rx).value;
+  return slot;
 }
 
 void Medium::add_listener(MediumListener* listener) {
@@ -53,12 +84,29 @@ void Medium::end_tx(FrameId id) {
                                   [id](const Frame& f) { return f.id == id; });
   assert(again != active_.end());
   active_.erase(again);
+  // Dropping the memoized draws is purely a size bound: a late query about
+  // this frame (e.g. the receiver finalizing the reception) recomputes the
+  // identical values from the (seed, frame, node) hash.
+  shadow_cache_.erase(id);
 }
 
 Dbm Medium::rss(const Frame& frame, NodeId rx) const {
   assert(rx < positions_.size());
-  const double d = distance(positions_[frame.src], positions_[rx]);
-  return frame.tx_power - config_.path_loss.loss(d) + shadowing_.sample(frame.id, rx);
+  if (shadowing_.sigma_db() <= 0.0) {
+    return frame.tx_power - Db{cached_loss_db(frame.src, rx)};
+  }
+  return frame.tx_power - Db{cached_loss_db(frame.src, rx)} +
+         Db{cached_shadow_db(frame.id, rx)};
+}
+
+Db Medium::leak_attenuation(const Frame& f, Mhz delta, const ChannelRejection& rejection) {
+  Db attenuation = rejection.attenuation(delta);
+  if (f.emission != nullptr) {
+    // Wideband transmitter: whatever its emission mask puts into the
+    // receiver's passband arrives regardless of the receiver's filter.
+    attenuation = std::min(attenuation, f.emission->attenuation(delta));
+  }
+  return attenuation;
 }
 
 MilliWatts Medium::accumulate(NodeId node, Mhz channel, FrameId exclude,
@@ -68,13 +116,7 @@ MilliWatts Medium::accumulate(NodeId node, Mhz channel, FrameId exclude,
     if (f.id == exclude) continue;
     if (f.src == node) continue;  // a node never senses its own signal
     const Mhz delta = frequency_distance(f.channel, channel);
-    Db attenuation = rejection.attenuation(delta);
-    if (f.emission != nullptr) {
-      // Wideband transmitter: whatever its emission mask puts into the
-      // receiver's passband arrives regardless of the receiver's filter.
-      attenuation = std::min(attenuation, f.emission->attenuation(delta));
-    }
-    total += to_milliwatts(rss(f, node) - attenuation);
+    total += to_milliwatts(rss(f, node) - leak_attenuation(f, delta, rejection));
   }
   return total;
 }
@@ -108,10 +150,7 @@ Medium::Overlap Medium::overlap(NodeId rx, Mhz channel, FrameId exclude) const {
       // Only count inter-channel frames whose leaked energy clears the noise
       // floor; a transmission on the far side of the band is not a collision.
       const Mhz delta = frequency_distance(f.channel, channel);
-      Db rejection = config_.rejection.attenuation(delta);
-      if (f.emission != nullptr) {
-        rejection = std::min(rejection, f.emission->attenuation(delta));
-      }
+      const Db rejection = leak_attenuation(f, delta, config_.rejection);
       if (rss(f, rx) - rejection > config_.noise_floor) result.inter = true;
     }
   }

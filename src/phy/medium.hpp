@@ -13,9 +13,21 @@
 // it notifies listeners *before* mutating the active set, so a listener
 // closing an error-accumulation segment still observes the interference set
 // that was valid up to this instant.
+//
+// Hot-path caching: rss() is a pure function of (frame, rx) — tx power minus
+// a position-determined path loss plus a hash-determined shadowing draw —
+// and it is queried once per active frame per CCA/SINR evaluation, millions
+// of times per run. The medium therefore memoizes both pieces:
+//   * pairwise path loss, invalidated per node by set_position/add_node, and
+//   * per-(frame id, rx) shadowing draws, dropped when the frame leaves the
+//     air (recomputation is bit-identical, so eviction is a pure perf event).
+// The caches make the const query methods write to mutable state; a Medium
+// is single-threaded like the Scenario that owns it (parallel replication
+// runs one Medium per thread — see sim/parallel.hpp).
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "phy/frame.hpp"
@@ -106,6 +118,17 @@ class Medium {
  private:
   [[nodiscard]] MilliWatts accumulate(NodeId node, Mhz channel, FrameId exclude,
                                       const ChannelRejection& rejection) const;
+  /// How much of frame `f`'s energy leaks into a receiver tuned `delta` away:
+  /// the receiver's filter curve, floored by the transmitter's own emission
+  /// mask when one is attached (a wide transmitter puts power inside a
+  /// narrow receiver's passband no matter how good the receiver's filter
+  /// is). Shared by accumulate() and overlap() so the two cannot drift.
+  [[nodiscard]] static Db leak_attenuation(const Frame& f, Mhz delta,
+                                           const ChannelRejection& rejection);
+  /// Memoized PL(distance(a, b)); recomputed after either node moves.
+  [[nodiscard]] double cached_loss_db(NodeId a, NodeId b) const;
+  /// Memoized shadowing draw for (frame id, rx).
+  [[nodiscard]] double cached_shadow_db(FrameId frame, NodeId rx) const;
 
   MediumConfig config_;
   ShadowingField shadowing_;
@@ -113,6 +136,13 @@ class Medium {
   std::vector<Frame> active_;
   std::vector<MediumListener*> listeners_;
   FrameId next_frame_id_ = 1;
+
+  // -- Memoization (see the header comment) ------------------------------
+  /// Row-major node_count²; NaN = not yet computed.
+  mutable std::vector<double> loss_cache_;
+  /// Per-frame shadowing draws indexed by rx; NaN = not yet computed.
+  /// Erased on end_tx to stay proportional to the active set.
+  mutable std::unordered_map<FrameId, std::vector<double>> shadow_cache_;
 };
 
 }  // namespace nomc::phy

@@ -8,17 +8,40 @@ namespace nomc::sim {
 EventId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
   assert(at >= now_ && "cannot schedule into the past");
   assert(fn && "event must be callable");
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.live = true;
+  heap_.push(Entry{at, next_seq_++, index, slot.generation, std::move(fn)});
+  ++live_count_;
+  return static_cast<EventId>(index) << 32 | slot.generation;
+}
+
+void Scheduler::retire(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.live = false;
+  // Generation 0 is reserved so kInvalidEventId never matches a slot.
+  if (++slot.generation == 0) slot.generation = 1;
+  free_slots_.push_back(index);
+  --live_count_;
 }
 
 bool Scheduler::cancel(EventId id) {
-  // An id absent from the live set has either run, been cancelled, or never
-  // been issued; all three answer "false". The heap entry stays behind and is
-  // skipped when popped.
-  return live_.erase(id) > 0;
+  // A stale generation means the event has run, been cancelled, or the id
+  // was never issued; all three answer "false". The heap entry stays behind
+  // and fails the generation check when popped.
+  const std::uint32_t index = slot_of(id);
+  if (index >= slots_.size()) return false;
+  const Slot& slot = slots_[index];
+  if (!slot.live || slot.generation != generation_of(id)) return false;
+  retire(index);
+  return true;
 }
 
 bool Scheduler::step() {
@@ -27,7 +50,8 @@ bool Scheduler::step() {
     // via const_cast — safe because the entry is popped immediately after.
     Entry entry = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
-    if (live_.erase(entry.id) == 0) continue;  // was cancelled
+    if (!entry_live(entry)) continue;  // was cancelled
+    retire(entry.slot);
     assert(entry.at >= now_);
     now_ = entry.at;
     ++executed_;
@@ -39,7 +63,7 @@ bool Scheduler::step() {
 
 void Scheduler::run_until(SimTime end) {
   while (!heap_.empty()) {
-    if (live_.find(heap_.top().id) == live_.end()) {
+    if (!entry_live(heap_.top())) {
       heap_.pop();  // drop cancelled entries so the horizon check sees a live one
       continue;
     }

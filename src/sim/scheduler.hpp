@@ -3,14 +3,15 @@
 // Events are closures ordered by (time, insertion sequence); ties in time
 // therefore execute in scheduling order, which makes runs deterministic.
 // Cancellation is lazy: cancelled entries stay in the heap and are skipped
-// when popped, which keeps schedule/cancel O(log n) without a secondary
-// index structure.
+// when popped. Liveness is tracked by generation-checked slots instead of a
+// hash set — an EventId packs (slot index, generation), so schedule, cancel,
+// and the popped-entry liveness check are all O(1) array probes with no
+// hashing on the hot path.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -18,7 +19,8 @@
 
 namespace nomc::sim {
 
-/// Opaque handle for cancelling a scheduled event. Id 0 is never issued.
+/// Opaque handle for cancelling a scheduled event: (slot << 32) | generation.
+/// Generations start at 1, so the value 0 is never issued.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
@@ -54,7 +56,7 @@ class Scheduler {
   void run_all();
 
   /// Number of pending (scheduled, not yet run, not cancelled) events.
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_count_; }
 
   /// Total events executed so far (telemetry for microbenchmarks/tests).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
@@ -77,7 +79,8 @@ class Scheduler {
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // tie-break: FIFO within equal times
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t generation;
     std::function<void()> fn;
   };
   struct Later {
@@ -86,12 +89,34 @@ class Scheduler {
       return a.seq > b.seq;
     }
   };
+  /// Liveness record for one slot. A slot is recycled (generation bumped,
+  /// index pushed on the free list) as soon as its event runs or is
+  /// cancelled; a stale heap entry then fails the generation check when
+  /// popped and is skipped.
+  struct Slot {
+    std::uint32_t generation = 1;
+    bool live = false;
+  };
+
+  [[nodiscard]] static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  [[nodiscard]] static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  [[nodiscard]] bool entry_live(const Entry& entry) const {
+    const Slot& slot = slots_[entry.slot];
+    return slot.live && slot.generation == entry.generation;
+  }
+  /// Mark `entry`'s slot dead and recycle it for reuse.
+  void retire(std::uint32_t index);
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> live_;  // scheduled and not yet run/cancelled
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   TraceSink* trace_ = nullptr;
 };

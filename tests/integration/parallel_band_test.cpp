@@ -1,0 +1,53 @@
+// Acceptance gate for the parallel trial runner: run_band's trial-averaged
+// throughputs must be bit-identical no matter how many worker threads the
+// replication uses — parallelism is a wall-clock optimization, never a
+// result change.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "phy/channel_plan.hpp"
+
+namespace nomc {
+namespace {
+
+bench::BandRunParams short_params(int trials, int jobs) {
+  bench::BandRunParams params;
+  params.trials = trials;
+  params.jobs = jobs;
+  params.warmup = sim::SimTime::seconds(0.1);
+  params.measure = sim::SimTime::seconds(0.4);
+  return params;
+}
+
+TEST(ParallelBand, RunBandBitIdenticalAcrossJobCounts) {
+  const auto channels = phy::evenly_spaced(bench::kBandStart, phy::Mhz{3.0}, 3);
+  const auto serial = bench::run_band(channels, net::Scheme::kDcn, short_params(8, 1));
+  for (const int jobs : {2, 8}) {
+    const auto parallel = bench::run_band(channels, net::Scheme::kDcn, short_params(8, jobs));
+    ASSERT_EQ(parallel.per_network_pps.size(), serial.per_network_pps.size());
+    for (std::size_t i = 0; i < serial.per_network_pps.size(); ++i) {
+      // Bit identity, not tolerance: the merge order is seed order.
+      EXPECT_EQ(parallel.per_network_pps[i], serial.per_network_pps[i])
+          << "network " << i << " diverged at jobs=" << jobs;
+    }
+    EXPECT_EQ(parallel.overall_pps, serial.overall_pps) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelBand, RunBandMatchesMixedWithConstantScheme) {
+  const auto channels = phy::evenly_spaced(bench::kBandStart, phy::Mhz{3.0}, 2);
+  const auto params = short_params(2, 1);
+  const auto direct = bench::run_band(channels, net::Scheme::kFixedCca, params);
+  const auto mixed =
+      bench::run_band_mixed(channels, [](int) { return net::Scheme::kFixedCca; }, params);
+  ASSERT_EQ(direct.per_network_pps.size(), mixed.per_network_pps.size());
+  for (std::size_t i = 0; i < direct.per_network_pps.size(); ++i) {
+    EXPECT_EQ(direct.per_network_pps[i], mixed.per_network_pps[i]);
+  }
+  EXPECT_EQ(direct.overall_pps, mixed.overall_pps);
+}
+
+}  // namespace
+}  // namespace nomc

@@ -150,6 +150,42 @@ TEST(Scheduler, EventsCanCancelOtherEvents) {
   EXPECT_FALSE(victim_ran);
 }
 
+// Regression for the generation-slot liveness tracking: FIFO tie-breaking at
+// equal timestamps must hold even when cancellations recycle slots in the
+// middle of the equal-time group, so a reused slot's new event keeps its new
+// insertion order and the stale heap entry stays dead.
+TEST(Scheduler, FifoTieBreakSurvivesSlotReuse) {
+  Scheduler s;
+  std::vector<int> order;
+  const SimTime at = SimTime::microseconds(5);
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 4; ++i) {
+    doomed.push_back(s.schedule_at(at, [&order] { order.push_back(-1); }));
+  }
+  s.schedule_at(at, [&order] { order.push_back(0); });
+  // Cancelling frees the four slots; the next schedules reuse them while
+  // their dead entries are still sitting in the heap at the same timestamp.
+  for (const EventId id : doomed) EXPECT_TRUE(s.cancel(id));
+  for (int i = 1; i < 6; ++i) {
+    s.schedule_at(at, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(s.executed(), 6u);
+}
+
+// A cancelled id whose slot was recycled must not cancel the new tenant.
+TEST(Scheduler, StaleIdCannotCancelRecycledSlot) {
+  Scheduler s;
+  const EventId old_id = s.schedule_at(SimTime::microseconds(10), [] {});
+  EXPECT_TRUE(s.cancel(old_id));
+  bool ran = false;
+  s.schedule_at(SimTime::microseconds(10), [&ran] { ran = true; });
+  EXPECT_FALSE(s.cancel(old_id));  // stale generation
+  s.run_all();
+  EXPECT_TRUE(ran);
+}
+
 TEST(Scheduler, ExecutedCounts) {
   Scheduler s;
   for (int i = 0; i < 7; ++i) s.schedule_at(SimTime::microseconds(i), [] {});

@@ -1,0 +1,221 @@
+// nomc-bench — substrate benchmark driver with machine-readable output.
+//
+// Times the simulator's hot paths (medium energy accumulation warm and
+// cold, shadowing draws, scheduler schedule/cancel/run, parallel trial
+// replication) with a self-calibrating loop and writes one JSON document,
+// so the perf trajectory can be tracked across PRs:
+//
+//   nomc-bench --out BENCH_substrate.json
+//   nomc-bench --min-ms 200 --trial-jobs 8
+//
+// JSON format (documented in docs/parallel_runner.md):
+//   {
+//     "tool": "nomc-bench",
+//     "hardware_threads": <int>,
+//     "benchmarks": [
+//       {"name": ..., "iterations": N, "ns_per_op": ..., "ops_per_second": ...},
+//       ...
+//     ]
+//   }
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "phy/medium.hpp"
+#include "phy/path_loss.hpp"
+#include "sim/parallel.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace nomc;
+using Clock = std::chrono::steady_clock;
+
+struct BenchResult {
+  std::string name;
+  long long iterations = 0;
+  double ns_per_op = 0.0;
+};
+
+/// Run `op(iterations)` with doubling batch sizes until one batch exceeds
+/// `min_ms`, then report that batch. `op` must do its own result sinking.
+BenchResult measure(const std::string& name, double min_ms,
+                    const std::function<void(long long)>& op) {
+  long long iterations = 64;
+  for (;;) {
+    const auto start = Clock::now();
+    op(iterations);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    if (elapsed_ms >= min_ms || iterations >= (1LL << 40)) {
+      BenchResult result;
+      result.name = name;
+      result.iterations = iterations;
+      result.ns_per_op = elapsed_ms * 1e6 / static_cast<double>(iterations);
+      return result;
+    }
+    // Aim straight past min_ms instead of creeping up on it.
+    const double scale = elapsed_ms <= 0.0 ? 16.0 : (min_ms * 1.5) / elapsed_ms;
+    iterations = static_cast<long long>(static_cast<double>(iterations) *
+                                        (scale > 16.0 ? 16.0 : scale)) +
+                 1;
+  }
+}
+
+volatile double g_sink = 0.0;  // defeats dead-code elimination
+
+std::unique_ptr<phy::Medium> make_dense_medium(int active) {
+  auto medium = std::make_unique<phy::Medium>();
+  for (int i = 0; i < active + 1; ++i) {
+    medium->add_node({static_cast<double>(i), 0.0});
+  }
+  for (int i = 0; i < active; ++i) {
+    phy::Frame frame;
+    frame.id = medium->allocate_frame_id();
+    frame.src = static_cast<phy::NodeId>(i + 1);
+    frame.channel = phy::Mhz{2458.0 + 3.0 * (i % 6)};
+    frame.tx_power = phy::Dbm{0.0};
+    frame.psdu_bytes = 100;
+    medium->begin_tx(frame);
+  }
+  return medium;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::ArgParser args;
+  args.add_string("out", "BENCH_substrate.json", "output JSON path");
+  args.add_double("min-ms", 100.0, "minimum measured wall time per benchmark (ms)");
+  args.add_int("trial-jobs", 0, "jobs for the parallel replication benchmark (0 = all)");
+  if (!args.parse(argc - 1, argv + 1)) {
+    std::fprintf(stderr, "%s\n%s", args.error().c_str(), args.help(argv[0]).c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help(argv[0]).c_str(), stdout);
+    return 0;
+  }
+  const double min_ms = args.get_double("min-ms");
+
+  std::vector<BenchResult> results;
+
+  // -- Medium: steady-state CCA reads over a stable active set ------------
+  for (const int active : {4, 24}) {
+    auto medium = make_dense_medium(active);
+    results.push_back(measure(
+        "medium_sense_energy_warm/" + std::to_string(active), min_ms, [&](long long n) {
+          double acc = 0.0;
+          for (long long i = 0; i < n; ++i) {
+            acc += medium->sense_energy(0, phy::Mhz{2464.0}).value;
+          }
+          g_sink = acc;
+        }));
+  }
+
+  // -- Medium: observer moves before every read (cache invalidation) ------
+  {
+    auto medium = make_dense_medium(24);
+    results.push_back(measure("medium_sense_energy_cold/24", min_ms, [&](long long n) {
+      double acc = 0.0;
+      for (long long i = 0; i < n; ++i) {
+        medium->set_position(0, {0.0, (i & 1) == 0 ? 0.5 : 0.0});
+        acc += medium->sense_energy(0, phy::Mhz{2464.0}).value;
+      }
+      g_sink = acc;
+    }));
+  }
+
+  // -- Shadowing: uncached Box–Muller draw per op -------------------------
+  {
+    const phy::ShadowingField field{2.5, 1};
+    results.push_back(measure("shadowing_sample", min_ms, [&](long long n) {
+      double acc = 0.0;
+      for (long long i = 0; i < n; ++i) {
+        acc += field.sample(static_cast<std::uint64_t>(i) + 1, 7).value;
+      }
+      g_sink = acc;
+    }));
+  }
+
+  // -- Scheduler: schedule + drain, and the cancel-heavy CSMA pattern -----
+  results.push_back(measure("scheduler_schedule_run/10000", min_ms, [&](long long n) {
+    const long long rounds = (n + 9999) / 10000;
+    for (long long r = 0; r < rounds; ++r) {
+      sim::Scheduler scheduler;
+      sim::RandomStream rng{1, 0};
+      for (int i = 0; i < 10'000; ++i) {
+        scheduler.schedule_at(sim::SimTime::microseconds(rng.uniform_int(0, 1'000'000)),
+                              [] {});
+      }
+      scheduler.run_all();
+      g_sink = static_cast<double>(scheduler.executed());
+    }
+  }));
+  results.push_back(measure("scheduler_cancel_half/10000", min_ms, [&](long long n) {
+    const long long rounds = (n + 9999) / 10000;
+    for (long long r = 0; r < rounds; ++r) {
+      sim::Scheduler scheduler;
+      std::vector<sim::EventId> ids;
+      ids.reserve(10'000);
+      for (int i = 0; i < 10'000; ++i) {
+        ids.push_back(scheduler.schedule_at(sim::SimTime::microseconds(i), [] {}));
+      }
+      for (int i = 0; i < 10'000; i += 2) scheduler.cancel(ids[i]);
+      scheduler.run_all();
+      g_sink = static_cast<double>(scheduler.executed());
+    }
+  }));
+
+  // -- Parallel replication: serial vs pooled over pure-compute trials ----
+  const int trial_jobs = sim::resolve_jobs(args.get_int("trial-jobs"));
+  for (const int jobs : {1, trial_jobs}) {
+    sim::ParallelRunner runner{jobs};
+    const std::string name = "parallel_trials/jobs=" + std::to_string(jobs);
+    results.push_back(measure(name, min_ms, [&](long long n) {
+      const long long rounds = (n + 15) / 16;
+      for (long long r = 0; r < rounds; ++r) {
+        const auto batch = runner.map(16, [](int trial) {
+          sim::RandomStream rng{static_cast<std::uint64_t>(trial) + 1, 0};
+          double acc = 0.0;
+          for (int i = 0; i < 20'000; ++i) acc += rng.uniform();
+          return acc;
+        });
+        g_sink = batch[0];
+      }
+    }));
+    if (trial_jobs == 1) break;  // single-core machine: one entry is enough
+  }
+
+  std::FILE* out = std::fopen(args.get_string("out").c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", args.get_string("out").c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"tool\": \"nomc-bench\",\n  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"iterations\": %lld, \"ns_per_op\": %.2f, "
+                 "\"ops_per_second\": %.1f}%s\n",
+                 r.name.c_str(), r.iterations, r.ns_per_op, 1e9 / r.ns_per_op,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+
+  for (const BenchResult& r : results) {
+    std::printf("%-32s %12lld iters  %10.2f ns/op\n", r.name.c_str(), r.iterations,
+                r.ns_per_op);
+  }
+  std::printf("\nwritten to %s\n", args.get_string("out").c_str());
+  return 0;
+}

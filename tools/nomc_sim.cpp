@@ -10,20 +10,34 @@
 //
 //   # Case III with a trace of every DCN threshold move:
 //   nomc_sim --topology random --scheme dcn --trace run.csv
+//
+//   # 32 independent deployments averaged, replicated across all cores:
+//   nomc_sim --scheme dcn --trials 32 --jobs 0
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cli/args.hpp"
 #include "net/scenario.hpp"
 #include "net/topology.hpp"
 #include "phy/channel_plan.hpp"
+#include "sim/parallel.hpp"
 #include "stats/fairness.hpp"
 #include "stats/table.hpp"
 
 namespace {
 
 using namespace nomc;
+
+/// Per-network numbers of one trial, in network order.
+struct TrialResult {
+  std::vector<double> pps;
+  std::vector<double> prr;
+  std::vector<double> backoffs_per_s;
+  std::vector<double> drops_per_s;
+  double overall_pps = 0.0;
+};
 
 int run(const cli::ArgParser& args) {
   const auto channels = phy::evenly_spaced(phy::Mhz{args.get_double("band-start")},
@@ -47,68 +61,121 @@ int run(const cli::ArgParser& args) {
   if (args.provided("power")) {
     topology = topology.with_fixed_power(phy::Dbm{args.get_double("power")});
   }
-  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed"));
-  sim::RandomStream placement{seed, 999};
-
+  const std::uint64_t base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const std::string topology_name = args.get_string("topology");
-  std::vector<net::NetworkSpec> specs;
-  if (topology_name == "dense") {
-    specs = net::case1_dense(channels, placement, topology);
-  } else if (topology_name == "clustered") {
-    specs = net::case2_clustered(channels, placement, topology);
-  } else if (topology_name == "random") {
-    specs = net::case3_random(channels, placement, topology);
-  } else {
+  if (topology_name != "dense" && topology_name != "clustered" && topology_name != "random") {
     std::fprintf(stderr, "unknown --topology '%s' (dense|clustered|random)\n",
                  topology_name.c_str());
     return 1;
   }
+  const int trials = args.get_int("trials");
+  const int jobs = sim::resolve_jobs(args.get_int("jobs"));
+  if (trials < 1) {
+    std::fprintf(stderr, "--trials must be >= 1\n");
+    return 1;
+  }
+  const double measure_s = args.get_double("measure");
 
-  net::ScenarioConfig config;
-  config.seed = seed;
-  config.psdu_bytes = args.get_int("psdu");
-  config.fixed_cca_threshold = phy::Dbm{args.get_double("cca")};
-  net::Scenario scenario{config};
-
+  // The event trace is a single-run debugging artifact; averaging trials
+  // would interleave unrelated runs, so the trace only attaches to trial 0
+  // and --trace forces that trial to run alone on the calling thread.
   std::unique_ptr<sim::CsvTraceSink> trace;
+  if (args.provided("trace") && trials > 1) {
+    std::fprintf(stderr, "--trace requires --trials 1\n");
+    return 1;
+  }
+
+  // One self-contained deployment + run per trial; trial i is seeded like
+  // bench::trial_seed so CLI results line up with the figure benches.
+  auto run_trial = [&](int trial) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial) * 1000003;
+    sim::RandomStream placement{seed, 999};
+    std::vector<net::NetworkSpec> specs;
+    if (topology_name == "clustered") {
+      specs = net::case2_clustered(channels, placement, topology);
+    } else if (topology_name == "random") {
+      specs = net::case3_random(channels, placement, topology);
+    } else {
+      specs = net::case1_dense(channels, placement, topology);
+    }
+
+    net::ScenarioConfig config;
+    config.seed = seed;
+    config.psdu_bytes = args.get_int("psdu");
+    config.fixed_cca_threshold = phy::Dbm{args.get_double("cca")};
+    net::Scenario scenario{config};
+    if (trace && trial == 0) scenario.scheduler().set_trace(trace.get());
+    scenario.add_networks(specs, scheme);
+    scenario.run(sim::SimTime::seconds(args.get_double("warmup")),
+                 sim::SimTime::seconds(measure_s));
+
+    TrialResult result;
+    result.overall_pps = scenario.overall_throughput();
+    for (int n = 0; n < scenario.network_count(); ++n) {
+      const auto network = scenario.network_result(n);
+      double prr = 0.0;
+      double backoffs = 0.0;
+      double drops = 0.0;
+      for (const auto& link : network.links) {
+        prr += link.prr;
+        backoffs += static_cast<double>(link.sender.cca_backoffs);
+        drops += static_cast<double>(link.sender.cca_failures);
+      }
+      result.pps.push_back(network.throughput_pps);
+      result.prr.push_back(prr / static_cast<double>(network.links.size()));
+      result.backoffs_per_s.push_back(backoffs / measure_s);
+      result.drops_per_s.push_back(drops / measure_s);
+    }
+    return result;
+  };
+
   if (args.provided("trace")) {
     trace = std::make_unique<sim::CsvTraceSink>(args.get_string("trace"));
-    scenario.scheduler().set_trace(trace.get());
   }
+  sim::ParallelRunner runner{trace ? 1 : jobs};
+  const std::vector<TrialResult> per_trial = runner.map(trials, run_trial);
 
-  scenario.add_networks(specs, scheme);
-  scenario.run(sim::SimTime::seconds(args.get_double("warmup")),
-               sim::SimTime::seconds(args.get_double("measure")));
+  // Seed-ordered mean across trials (matches bench::run_band's averaging).
+  TrialResult mean;
+  const std::size_t networks = per_trial.front().pps.size();
+  mean.pps.assign(networks, 0.0);
+  mean.prr.assign(networks, 0.0);
+  mean.backoffs_per_s.assign(networks, 0.0);
+  mean.drops_per_s.assign(networks, 0.0);
+  for (const TrialResult& one : per_trial) {
+    for (std::size_t n = 0; n < networks; ++n) {
+      mean.pps[n] += one.pps[n];
+      mean.prr[n] += one.prr[n];
+      mean.backoffs_per_s[n] += one.backoffs_per_s[n];
+      mean.drops_per_s[n] += one.drops_per_s[n];
+    }
+    mean.overall_pps += one.overall_pps;
+  }
+  for (std::size_t n = 0; n < networks; ++n) {
+    mean.pps[n] /= trials;
+    mean.prr[n] /= trials;
+    mean.backoffs_per_s[n] /= trials;
+    mean.drops_per_s[n] /= trials;
+  }
+  mean.overall_pps /= trials;
 
-  std::printf("scheme=%s topology=%s channels=%zu cfd=%.1fMHz seed=%llu\n\n",
+  std::printf("scheme=%s topology=%s channels=%zu cfd=%.1fMHz seed=%llu trials=%d jobs=%d\n\n",
               scheme_name.c_str(), topology_name.c_str(), channels.size(),
-              args.get_double("cfd"), static_cast<unsigned long long>(seed));
+              args.get_double("cfd"), static_cast<unsigned long long>(base_seed), trials,
+              runner.jobs());
 
   stats::TablePrinter table{{"network", "MHz", "pkt/s", "PRR", "backoffs/s", "drops/s"}};
-  std::vector<double> per_network;
-  for (int n = 0; n < scenario.network_count(); ++n) {
-    const auto result = scenario.network_result(n);
-    per_network.push_back(result.throughput_pps);
-    double prr = 0.0;
-    double backoffs = 0.0;
-    double drops = 0.0;
-    for (const auto& link : result.links) {
-      prr += link.prr;
-      backoffs += static_cast<double>(link.sender.cca_backoffs);
-      drops += static_cast<double>(link.sender.cca_failures);
-    }
-    prr /= static_cast<double>(result.links.size());
-    const double seconds = args.get_double("measure");
+  for (std::size_t n = 0; n < networks; ++n) {
     table.add_row({"N" + std::to_string(n),
-                   stats::TablePrinter::num(scenario.network_channel(n).value, 0),
-                   stats::TablePrinter::num(result.throughput_pps, 1),
-                   stats::TablePrinter::num(100.0 * prr, 1) + "%",
-                   stats::TablePrinter::num(backoffs / seconds, 1),
-                   stats::TablePrinter::num(drops / seconds, 1)});
+                   stats::TablePrinter::num(channels[n].value, 0),
+                   stats::TablePrinter::num(mean.pps[n], 1),
+                   stats::TablePrinter::num(100.0 * mean.prr[n], 1) + "%",
+                   stats::TablePrinter::num(mean.backoffs_per_s[n], 1),
+                   stats::TablePrinter::num(mean.drops_per_s[n], 1)});
   }
   table.print();
-  std::printf("\noverall: %.1f pkt/s   Jain fairness: %.3f\n", scenario.overall_throughput(),
-              stats::jain_index(per_network));
+  std::printf("\noverall: %.1f pkt/s   Jain fairness: %.3f\n", mean.overall_pps,
+              stats::jain_index(mean.pps));
   if (trace) std::printf("trace written to %s\n", args.get_string("trace").c_str());
   return 0;
 }
@@ -130,7 +197,9 @@ int main(int argc, char** argv) {
   args.add_double("warmup", 2.0, "warm-up before measurement (s)");
   args.add_double("measure", 8.0, "measurement window (s)");
   args.add_int("seed", 1, "random seed (placement, fading, backoff)");
-  args.add_string("trace", "", "write a CSV event trace to this path");
+  args.add_int("trials", 1, "independent random deployments averaged (seed + i*1000003)");
+  args.add_int("jobs", 1, "worker threads for trials (0 = all hardware threads)");
+  args.add_string("trace", "", "write a CSV event trace to this path (needs --trials 1)");
 
   if (!args.parse(argc - 1, argv + 1)) {
     std::fprintf(stderr, "%s\n%s", args.error().c_str(), args.help(argv[0]).c_str());
