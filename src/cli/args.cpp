@@ -1,6 +1,8 @@
 #include "cli/args.hpp"
 
 #include <cassert>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 namespace nomc::cli {
@@ -14,8 +16,10 @@ bool parse_double(const std::string& text, double& out) {
 
 bool parse_int(const std::string& text, int& out) {
   char* end = nullptr;
+  errno = 0;
   const long value = std::strtol(text.c_str(), &end, 10);
   if (end == nullptr || *end != '\0' || text.empty()) return false;
+  if (errno == ERANGE || value < INT_MIN || value > INT_MAX) return false;
   out = static_cast<int>(value);
   return true;
 }
@@ -83,7 +87,20 @@ bool ArgParser::parse(int argc, const char* const* argv) {
         error_ = "missing value for --" + token;
         return false;
       }
-      value = argv[++i];
+      value = argv[i + 1];
+      // A "--..." token after a string option is a forgotten value, not a
+      // value that happens to start with dashes. Numeric options keep the
+      // token ("-55" is a value) and fail number parsing below if it was
+      // really an option.
+      if (option.type == Type::kString && value.rfind("--", 0) == 0) {
+        error_ = "missing value for --" + token + " (next token is " + value + ")";
+        return false;
+      }
+      ++i;
+    }
+    if (option.type != Type::kString && value.empty()) {
+      error_ = "empty value for --" + token;
+      return false;
     }
     if (option.type == Type::kDouble) {
       double parsed = 0.0;

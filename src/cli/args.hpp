@@ -3,6 +3,17 @@
 // Supports "--key value" and "--key=value", typed defaults, and generated
 // help text. Unknown options are errors (typo protection); positional
 // arguments are not supported (the tools take none).
+//
+// Edge-case contract:
+//   * A repeated option is not an error; the last value wins.
+//   * "--key=" supplies an empty value: legal for string options, an error
+//     for numeric ones.
+//   * Negative numbers work both as "--cca -55" and "--cca=-55"; a
+//     space-separated value is never mistaken for an option, except that a
+//     token starting with "--" after a *string* option is rejected as a
+//     missing value (it is always a forgotten argument in practice).
+//   * Integer values must fit in int; out-of-range input is an error, not a
+//     silent truncation.
 #pragma once
 
 #include <map>

@@ -1,0 +1,69 @@
+#include "cli/options.hpp"
+
+#include <cstdio>
+
+namespace nomc::cli {
+
+bool parse_scheme(const std::string& name, net::Scheme& out) {
+  if (name == "fixed") {
+    out = net::Scheme::kFixedCca;
+  } else if (name == "dcn") {
+    out = net::Scheme::kDcn;
+  } else if (name == "carrier-sense") {
+    out = net::Scheme::kCarrierSense;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool valid_topology(const std::string& name) {
+  return name == "dense" || name == "clustered" || name == "random";
+}
+
+void add_scheme_option(ArgParser& args, const std::string& option,
+                       const std::string& default_value, const std::string& what) {
+  args.add_string(option, default_value,
+                  what.empty() ? "channel access scheme: " + std::string{kSchemeChoices}
+                               : what + ": " + kSchemeChoices);
+}
+
+void add_topology_option(ArgParser& args, const std::string& option,
+                         const std::string& default_value) {
+  args.add_string(option, default_value, "deployment: " + std::string{kTopologyChoices});
+}
+
+bool scheme_from_args(const ArgParser& args, const std::string& option, net::Scheme& out) {
+  const std::string name = args.get_string(option);
+  if (!parse_scheme(name, out)) {
+    std::fprintf(stderr, "unknown --%s '%s' (%s)\n", option.c_str(), name.c_str(),
+                 kSchemeChoices);
+    return false;
+  }
+  return true;
+}
+
+bool topology_from_args(const ArgParser& args, const std::string& option, std::string& out) {
+  out = args.get_string(option);
+  if (!valid_topology(out)) {
+    std::fprintf(stderr, "unknown --%s '%s' (%s)\n", option.c_str(), out.c_str(),
+                 kTopologyChoices);
+    return false;
+  }
+  return true;
+}
+
+std::optional<int> parse_standard(ArgParser& args, int argc, const char* const* argv,
+                                  const std::string& program, int first) {
+  if (!args.parse(argc - first, argv + first)) {
+    std::fprintf(stderr, "%s\n%s", args.error().c_str(), args.help(program).c_str());
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::fputs(args.help(program).c_str(), stdout);
+    return 0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nomc::cli

@@ -1,0 +1,50 @@
+// Shared option vocabulary for the nomc driver tools.
+//
+// Every tool that exposes a channel-access scheme or a deployment topology
+// declares it through these helpers, so the choice strings, help text, and
+// string→enum parsing live in exactly one place (nomc-sim, nomc-compare,
+// nomc-campaign, and the exp spec parser are the consumers).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cli/args.hpp"
+#include "net/scenario.hpp"
+
+namespace nomc::cli {
+
+inline constexpr const char* kSchemeChoices = "fixed | dcn | carrier-sense";
+inline constexpr const char* kTopologyChoices = "dense | clustered | random";
+
+/// "fixed" | "dcn" | "carrier-sense" → Scheme. False on anything else.
+[[nodiscard]] bool parse_scheme(const std::string& name, net::Scheme& out);
+
+/// True for "dense" | "clustered" | "random" (Cases I-III).
+[[nodiscard]] bool valid_topology(const std::string& name);
+
+/// Declare a scheme option named `option` (e.g. "scheme", "a-scheme").
+/// `what` prefixes the help text ("design A: ..."); may be empty.
+void add_scheme_option(ArgParser& args, const std::string& option,
+                       const std::string& default_value, const std::string& what = "");
+
+/// Declare a topology option (default name "topology").
+void add_topology_option(ArgParser& args, const std::string& option = "topology",
+                         const std::string& default_value = "dense");
+
+/// Read + validate a declared scheme option; prints to stderr on failure.
+[[nodiscard]] bool scheme_from_args(const ArgParser& args, const std::string& option,
+                                    net::Scheme& out);
+
+/// Read + validate a declared topology option; prints to stderr on failure.
+[[nodiscard]] bool topology_from_args(const ArgParser& args, const std::string& option,
+                                      std::string& out);
+
+/// The tools' shared main() prologue: parse `argv[first..argc-1]`, print the
+/// error + usage on failure (exit code 2) or the help text on --help (exit
+/// code 0). Returns nullopt when the tool should proceed.
+[[nodiscard]] std::optional<int> parse_standard(ArgParser& args, int argc,
+                                                const char* const* argv,
+                                                const std::string& program, int first = 1);
+
+}  // namespace nomc::cli

@@ -1,0 +1,282 @@
+#include "exp/campaign.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "cli/options.hpp"
+#include "net/scenario.hpp"
+#include "net/topology.hpp"
+#include "phy/channel_plan.hpp"
+#include "sim/parallel.hpp"
+#include "stats/fairness.hpp"
+
+namespace nomc::exp {
+namespace {
+
+/// Matches bench::trial_seed and nomc-sim: distinct deployments per trial,
+/// reproducible per point.
+std::uint64_t trial_seed(const PointParams& params, int trial) {
+  return params.seed + static_cast<std::uint64_t>(trial) * 1000003;
+}
+
+bool store_exists(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fclose(file);
+  return true;
+}
+
+void json_append_array(std::string& out, const std::vector<double>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    json_append_double(out, values[i]);
+  }
+  out += ']';
+}
+
+std::string assignment_label(const SweepPoint& point) {
+  std::string label;
+  for (const auto& [key, value] : point.assignment) {
+    if (!label.empty()) label += ' ';
+    label += key + "=" + value;
+  }
+  return label.empty() ? "(single point)" : label;
+}
+
+}  // namespace
+
+PointResult run_point(const PointParams& params, sim::ParallelRunner& runner,
+                      const TrialHook& pre_run) {
+  net::Scheme scheme = net::Scheme::kFixedCca;
+  const bool scheme_ok = cli::parse_scheme(params.scheme, scheme);
+  assert(scheme_ok && "PointParams.scheme must be pre-validated");
+  (void)scheme_ok;
+  assert(cli::valid_topology(params.topology) && "PointParams.topology must be pre-validated");
+
+  const auto channels = phy::evenly_spaced(phy::Mhz{params.band_start_mhz},
+                                           phy::Mhz{params.cfd_mhz}, params.channels);
+  net::RandomCaseConfig topology;
+  topology.links_per_network = params.links;
+  if (params.power_dbm.has_value()) {
+    topology = topology.with_fixed_power(phy::Dbm{*params.power_dbm});
+  }
+
+  struct TrialNumbers {
+    std::vector<double> pps, prr, backoffs, drops;
+    double overall = 0.0;
+  };
+  const std::vector<TrialNumbers> per_trial = runner.map(params.trials, [&](int trial) {
+    const std::uint64_t seed = trial_seed(params, trial);
+    sim::RandomStream placement{seed, /*index=*/999};
+    std::vector<net::NetworkSpec> specs;
+    if (params.topology == "clustered") {
+      specs = net::case2_clustered(channels, placement, topology);
+    } else if (params.topology == "random") {
+      specs = net::case3_random(channels, placement, topology);
+    } else {
+      specs = net::case1_dense(channels, placement, topology);
+    }
+
+    net::ScenarioConfig config;
+    config.seed = seed;
+    config.psdu_bytes = params.psdu_bytes;
+    config.fixed_cca_threshold = phy::Dbm{params.cca_dbm};
+    net::Scenario scenario{config};
+    if (pre_run) pre_run(trial, scenario);
+    scenario.add_networks(specs, scheme);
+    scenario.run(sim::SimTime::seconds(params.warmup_s),
+                 sim::SimTime::seconds(params.measure_s));
+
+    TrialNumbers one;
+    one.overall = scenario.overall_throughput();
+    for (int n = 0; n < scenario.network_count(); ++n) {
+      const auto network = scenario.network_result(n);
+      double prr = 0.0;
+      double backoffs = 0.0;
+      double drops = 0.0;
+      for (const auto& link : network.links) {
+        prr += link.prr;
+        backoffs += static_cast<double>(link.sender.cca_backoffs);
+        drops += static_cast<double>(link.sender.cca_failures);
+      }
+      one.pps.push_back(network.throughput_pps);
+      one.prr.push_back(prr / static_cast<double>(network.links.size()));
+      one.backoffs.push_back(backoffs / params.measure_s);
+      one.drops.push_back(drops / params.measure_s);
+    }
+    return one;
+  });
+
+  PointResult mean;
+  const std::size_t networks = per_trial.front().pps.size();
+  mean.pps.assign(networks, 0.0);
+  mean.prr.assign(networks, 0.0);
+  mean.backoffs_per_s.assign(networks, 0.0);
+  mean.drops_per_s.assign(networks, 0.0);
+  for (const TrialNumbers& one : per_trial) {
+    for (std::size_t n = 0; n < networks; ++n) {
+      mean.pps[n] += one.pps[n];
+      mean.prr[n] += one.prr[n];
+      mean.backoffs_per_s[n] += one.backoffs[n];
+      mean.drops_per_s[n] += one.drops[n];
+    }
+    mean.overall_pps += one.overall;
+  }
+  const double trials = static_cast<double>(params.trials);
+  for (std::size_t n = 0; n < networks; ++n) {
+    mean.pps[n] /= trials;
+    mean.prr[n] /= trials;
+    mean.backoffs_per_s[n] /= trials;
+    mean.drops_per_s[n] /= trials;
+  }
+  mean.overall_pps /= trials;
+  mean.jain = stats::jain_index(mean.pps);
+  return mean;
+}
+
+std::string format_record(const CampaignSpec& spec, const SweepPoint& point,
+                          const PointResult& result) {
+  const PointParams& p = point.params;
+  std::string out = "{\"v\":" + std::to_string(kStoreVersion) + ",\"campaign\":";
+  json_append_string(out, spec.name);
+  out += ",\"spec_hash\":";
+  json_append_string(out, spec_hash(spec));
+  out += ",\"point\":" + std::to_string(point.index);
+
+  out += ",\"sweep\":{";
+  for (std::size_t i = 0; i < point.assignment.size(); ++i) {
+    if (i > 0) out += ',';
+    json_append_string(out, point.assignment[i].first);
+    out += ':';
+    json_append_string(out, point.assignment[i].second);
+  }
+  out += '}';
+
+  out += ",\"params\":{\"scheme\":";
+  json_append_string(out, p.scheme);
+  out += ",\"topology\":";
+  json_append_string(out, p.topology);
+  out += ",\"band_start_mhz\":";
+  json_append_double(out, p.band_start_mhz);
+  out += ",\"cfd_mhz\":";
+  json_append_double(out, p.cfd_mhz);
+  out += ",\"channels\":" + std::to_string(p.channels);
+  out += ",\"links\":" + std::to_string(p.links);
+  out += ",\"power_dbm\":";
+  if (p.power_dbm.has_value()) {
+    json_append_double(out, *p.power_dbm);
+  } else {
+    out += "null";
+  }
+  out += ",\"cca_dbm\":";
+  json_append_double(out, p.cca_dbm);
+  out += ",\"psdu_bytes\":" + std::to_string(p.psdu_bytes);
+  out += ",\"warmup_s\":";
+  json_append_double(out, p.warmup_s);
+  out += ",\"measure_s\":";
+  json_append_double(out, p.measure_s);
+  char seed_buffer[32];
+  std::snprintf(seed_buffer, sizeof seed_buffer, "%" PRIu64, p.seed);
+  out += ",\"seed\":";
+  out += seed_buffer;
+  out += ",\"trials\":" + std::to_string(p.trials) + "}";
+
+  out += ",\"per_network\":{\"pps\":";
+  json_append_array(out, result.pps);
+  out += ",\"prr\":";
+  json_append_array(out, result.prr);
+  out += ",\"backoffs_per_s\":";
+  json_append_array(out, result.backoffs_per_s);
+  out += ",\"drops_per_s\":";
+  json_append_array(out, result.drops_per_s);
+  out += "},\"overall_pps\":";
+  json_append_double(out, result.overall_pps);
+  out += ",\"jain\":";
+  json_append_double(out, result.jain);
+  out += '}';
+  return out;
+}
+
+bool run_campaign(const CampaignSpec& spec, const std::string& out_path,
+                  const CampaignOptions& options, CampaignStats* stats, std::string& error) {
+  const std::vector<SweepPoint> points = expand_grid(spec);
+  const std::string hash = spec_hash(spec);
+
+  CampaignStats local;
+  local.total = static_cast<int>(points.size());
+
+  StoreScan existing;
+  const bool have_store = store_exists(out_path);
+  switch (options.mode) {
+    case CampaignOptions::Mode::kFresh:
+      if (have_store) {
+        error = "result store already exists: " + out_path +
+                " (use resume to continue it, or --overwrite to discard it)";
+        return false;
+      }
+      break;
+    case CampaignOptions::Mode::kOverwrite:
+      break;
+    case CampaignOptions::Mode::kResume:
+      if (have_store) {
+        if (!scan_store(out_path, hash, existing, error)) return false;
+      }
+      break;
+  }
+
+  StoreWriter writer;
+  if (options.mode == CampaignOptions::Mode::kResume && have_store) {
+    // Rewrite the verbatim valid prefix: drops a torn trailing line (the
+    // point that was in flight gets recomputed) while preserving every
+    // completed record byte-for-byte.
+    if (!writer.open(out_path, /*truncate=*/true, error)) return false;
+    if (!existing.valid_prefix.empty()) {
+      std::string prefix = existing.valid_prefix;
+      prefix.pop_back();  // append_line re-adds the final newline
+      if (!writer.append_line(prefix, error)) return false;
+    }
+  } else {
+    if (!writer.open(out_path, /*truncate=*/true, error)) return false;
+  }
+
+  StoreWriter timing;
+  if (!timing.open(out_path + ".timing",
+                   /*truncate=*/options.mode != CampaignOptions::Mode::kResume, error)) {
+    return false;
+  }
+
+  sim::ParallelRunner runner{options.jobs};
+  local.reused = static_cast<int>(existing.completed.size());
+  for (const SweepPoint& point : points) {
+    if (existing.completed.count(point.index) != 0) continue;
+    if (options.max_points >= 0 && local.computed >= options.max_points) break;
+
+    const auto start = std::chrono::steady_clock::now();
+    const PointResult result = run_point(point.params, runner);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (!writer.append_line(format_record(spec, point, result), error)) return false;
+    std::string timing_line = "{\"point\":" + std::to_string(point.index) + ",\"wall_ms\":";
+    json_append_double(timing_line, wall_ms);
+    timing_line += '}';
+    if (!timing.append_line(timing_line, error)) return false;
+
+    ++local.computed;
+    if (!options.quiet) {
+      std::printf("[%d/%d] %s  overall=%.1f pkt/s  jain=%.3f  (%.2fs)\n",
+                  point.index + 1, local.total, assignment_label(point).c_str(),
+                  result.overall_pps, result.jain, wall_ms / 1000.0);
+      std::fflush(stdout);
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return true;
+}
+
+}  // namespace nomc::exp

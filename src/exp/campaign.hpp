@@ -1,0 +1,80 @@
+// CampaignRunner: expands a CampaignSpec into its sweep grid, executes each
+// point's trial batch on a sim::ParallelRunner, and checkpoints completed
+// points into the JSONL result store.
+//
+// Determinism contract: a point's record bytes are a pure function of the
+// spec — trials are seeded per point exactly like nomc-sim / bench::trial_seed
+// (seed + trial * 1000003) and merged in seed order, so the store is
+// byte-identical whether the campaign ran straight through, was interrupted
+// and resumed, or used any --jobs value. Checkpoint granularity is one sweep
+// point: resume re-runs at most the point that was in flight.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/result_store.hpp"
+#include "exp/spec.hpp"
+
+namespace nomc::sim {
+class ParallelRunner;
+}
+namespace nomc::net {
+class Scenario;
+}
+
+namespace nomc::exp {
+
+/// Seed-ordered mean across a point's trials, per network.
+struct PointResult {
+  std::vector<double> pps;
+  std::vector<double> prr;
+  std::vector<double> backoffs_per_s;
+  std::vector<double> drops_per_s;
+  double overall_pps = 0.0;
+  double jain = 0.0;  ///< Jain fairness index of the mean per-network pps
+};
+
+/// Called for each trial's Scenario after construction, before run()
+/// (nomc-sim uses it to attach the event trace to trial 0).
+using TrialHook = std::function<void(int trial, net::Scenario&)>;
+
+/// Run one operating point: params.trials independent deployments replicated
+/// on `runner`, merged in seed order. The params must be pre-validated
+/// (parser or cli helpers); run_point asserts on an unknown scheme/topology.
+[[nodiscard]] PointResult run_point(const PointParams& params, sim::ParallelRunner& runner,
+                                    const TrialHook& pre_run = {});
+
+struct CampaignOptions {
+  int jobs = 1;  ///< as sim::resolve_jobs (0 = all hardware threads)
+  enum class Mode {
+    kFresh,      ///< error if the store already exists
+    kOverwrite,  ///< truncate an existing store
+    kResume,     ///< keep completed points, compute the rest
+  };
+  Mode mode = Mode::kFresh;
+  /// Stop after computing this many new points (< 0 = no limit). The test
+  /// suite uses this to simulate an interrupted campaign.
+  int max_points = -1;
+  bool quiet = false;  ///< suppress per-point progress lines on stdout
+};
+
+struct CampaignStats {
+  int total = 0;     ///< grid size
+  int computed = 0;  ///< points run in this invocation
+  int reused = 0;    ///< points already in the store (resume)
+};
+
+/// Execute `spec` into the JSONL store at `out_path` (timing sidecar at
+/// `out_path + ".timing"`). Returns false and fills `error` on spec-hash
+/// mismatch, store corruption, or I/O failure.
+bool run_campaign(const CampaignSpec& spec, const std::string& out_path,
+                  const CampaignOptions& options, CampaignStats* stats, std::string& error);
+
+/// The store record for one completed point (no trailing newline). Exposed
+/// for tests that check byte-level determinism.
+[[nodiscard]] std::string format_record(const CampaignSpec& spec, const SweepPoint& point,
+                                        const PointResult& result);
+
+}  // namespace nomc::exp

@@ -1,0 +1,116 @@
+// Versioned JSONL result store for campaign runs.
+//
+// One line per completed sweep point, appended in point order and flushed
+// after every record, so an interrupted campaign loses at most the line
+// being written. Record schema (v1):
+//
+//   {"v":1,"campaign":<name>,"spec_hash":<16 hex>,"point":<index>,
+//    "sweep":{<swept key>:<value text>, ...},
+//    "params":{...full resolved PointParams...},
+//    "per_network":{"pps":[...],"prr":[...],"backoffs_per_s":[...],
+//                   "drops_per_s":[...]},
+//    "overall_pps":<num>,"jain":<num>}
+//
+// The record bytes are a pure function of (spec, point): wall-clock timing
+// lives in a separate "<store>.timing" sidecar, so the primary store is
+// byte-identical whether a campaign ran straight through, was interrupted
+// and resumed, or used a different --jobs value.
+#pragma once
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nomc::exp {
+
+inline constexpr int kStoreVersion = 1;
+
+// ---- Minimal JSON subset -------------------------------------------------
+// Parses exactly what the store writes (objects, arrays, strings with basic
+// escapes, numbers, true/false/null); self-contained, no external deps.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< insertion order
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed).
+bool parse_json(const std::string& text, JsonValue& out, std::string& error);
+
+/// Append `text` JSON-escaped, in quotes.
+void json_append_string(std::string& out, const std::string& text);
+/// Append a number round-trippable to the same double (%.17g).
+void json_append_double(std::string& out, double value);
+
+// ---- Record model --------------------------------------------------------
+
+struct ResultRecord {
+  int version = 0;
+  std::string campaign;
+  std::string spec_hash;
+  int point = -1;
+  std::vector<std::pair<std::string, std::string>> sweep;  ///< declaration order
+  std::vector<double> pps;             ///< per network, network 0 first
+  std::vector<double> prr;
+  std::vector<double> backoffs_per_s;
+  std::vector<double> drops_per_s;
+  double overall_pps = 0.0;
+  double jain = 0.0;
+};
+
+/// Parse one JSONL line into a record. Rejects unknown versions.
+bool parse_record(const std::string& line, ResultRecord& out, std::string& error);
+
+/// Result of scanning an existing store file.
+struct StoreScan {
+  std::vector<ResultRecord> records;
+  std::set<int> completed;     ///< point indices present
+  std::string valid_prefix;    ///< the verbatim bytes of all complete records
+  bool truncated_tail = false; ///< a torn trailing line was dropped
+};
+
+/// Read a store and validate every complete line. A torn final line (no
+/// trailing newline, or unparsable — the signature of a kill mid-write) is
+/// dropped and reported via `truncated_tail`; an unparsable line anywhere
+/// else is an error. When `expected_hash` is non-empty, every record must
+/// carry it (a mismatch means the spec changed since the store was written).
+bool scan_store(const std::string& path, const std::string& expected_hash,
+                StoreScan& out, std::string& error);
+
+/// Append-only line writer; flushes after every line.
+class StoreWriter {
+ public:
+  StoreWriter() = default;
+  ~StoreWriter();
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  /// `truncate` starts the file fresh; otherwise appends.
+  bool open(const std::string& path, bool truncate, std::string& error);
+  /// Write `line` plus '\n', then flush.
+  bool append_line(const std::string& line, std::string& error);
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Long-format CSV: one row per (point, network), sweep assignments as
+/// leading columns. Plot-friendly (pandas/R) without JSON tooling.
+bool export_csv(const std::vector<ResultRecord>& records, std::FILE* out);
+
+/// Quote a CSV field when it contains a comma, quote, or newline.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace nomc::exp

@@ -104,5 +104,49 @@ TEST(Args, LastValueWins) {
   EXPECT_DOUBLE_EQ(args.get_double("cfd"), 4.0);
 }
 
+TEST(Args, EmptyEqualsValueLegalForStrings) {
+  ArgParser args = standard_parser();
+  EXPECT_TRUE(parse(args, {"--scheme="}));
+  EXPECT_EQ(args.get_string("scheme"), "");
+  EXPECT_TRUE(args.provided("scheme"));
+}
+
+TEST(Args, EmptyEqualsValueRejectedForNumerics) {
+  ArgParser args = standard_parser();
+  EXPECT_FALSE(parse(args, {"--cfd="}));
+  EXPECT_NE(args.error().find("empty value"), std::string::npos);
+  ArgParser args2 = standard_parser();
+  EXPECT_FALSE(parse(args2, {"--channels="}));
+  EXPECT_NE(args2.error().find("empty value"), std::string::npos);
+}
+
+TEST(Args, StringOptionDoesNotSwallowFollowingOption) {
+  ArgParser args = standard_parser();
+  EXPECT_FALSE(parse(args, {"--scheme", "--verbose"}));
+  EXPECT_NE(args.error().find("missing value"), std::string::npos);
+  // An explicit = still allows a value that looks like an option.
+  ArgParser args2 = standard_parser();
+  EXPECT_TRUE(parse(args2, {"--scheme=--verbose"}));
+  EXPECT_EQ(args2.get_string("scheme"), "--verbose");
+}
+
+TEST(Args, IntOverflowRejected) {
+  ArgParser args = standard_parser();
+  EXPECT_FALSE(parse(args, {"--channels", "99999999999999999999"}));
+  ArgParser args2 = standard_parser();
+  EXPECT_FALSE(parse(args2, {"--channels", "-99999999999999999999"}));
+}
+
+TEST(Args, NegativeIntValue) {
+  ArgParser args;
+  args.add_int("offset", 0, "offset");
+  EXPECT_TRUE(parse(args, {"--offset", "-3"}));
+  EXPECT_EQ(args.get_int("offset"), -3);
+  ArgParser args2;
+  args2.add_int("offset", 0, "offset");
+  EXPECT_TRUE(parse(args2, {"--offset=-3"}));
+  EXPECT_EQ(args2.get_int("offset"), -3);
+}
+
 }  // namespace
 }  // namespace nomc::cli

@@ -1,0 +1,217 @@
+// Campaign engine integration: resume determinism and record stability.
+//
+// The resume contract under test (docs/campaigns.md): the result store is
+// byte-identical whether a campaign ran straight through, was interrupted
+// (even mid-write) and resumed, or replicated trials with a different job
+// count.
+#include "exp/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "exp/result_store.hpp"
+#include "exp/spec.hpp"
+#include "sim/parallel.hpp"
+
+namespace nomc::exp {
+namespace {
+
+// 4 points (2 channel counts x 2 schemes), short runs: enough structure to
+// interrupt in the middle, small enough for the tier-1 suite.
+constexpr const char* kSpecText =
+    "name = campaign_under_test\n"
+    "topology = dense\n"
+    "power = 0\n"
+    "warmup = 0.2\n"
+    "measure = 0.5\n"
+    "trials = 2\n"
+    "sweep channels = 2 3\n"
+    "sweep scheme = fixed dcn\n";
+
+CampaignSpec test_spec() {
+  CampaignSpec spec;
+  SpecError error;
+  EXPECT_TRUE(parse_campaign(kSpecText, spec, error)) << error.str();
+  return spec;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "nomc_campaign_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(file, nullptr) << path;
+  if (file == nullptr) return "";
+  std::string content;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) content.append(buffer, got);
+  std::fclose(file);
+  return content;
+}
+
+void append_bytes(const std::string& path, const std::string& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+  std::fclose(file);
+}
+
+CampaignOptions quiet_options(CampaignOptions::Mode mode, int jobs = 1) {
+  CampaignOptions options;
+  options.mode = mode;
+  options.jobs = jobs;
+  options.quiet = true;
+  return options;
+}
+
+/// The uninterrupted single-job store: the reference bytes every other
+/// execution shape must reproduce. Computed once, shared across tests.
+const std::string& reference_bytes() {
+  static const std::string bytes = [] {
+    const std::string path = temp_path("reference.jsonl");
+    std::string error;
+    CampaignStats stats;
+    EXPECT_TRUE(run_campaign(test_spec(), path,
+                             quiet_options(CampaignOptions::Mode::kOverwrite), &stats, error))
+        << error;
+    EXPECT_EQ(stats.total, 4);
+    EXPECT_EQ(stats.computed, 4);
+    return read_file(path);
+  }();
+  return bytes;
+}
+
+TEST(Campaign, StoreHasOneValidRecordPerPoint) {
+  const std::string path = temp_path("records.jsonl");
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  const std::string& bytes = reference_bytes();
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+  std::fclose(file);
+
+  StoreScan scan;
+  std::string error;
+  ASSERT_TRUE(scan_store(path, spec_hash(test_spec()), scan, error)) << error;
+  ASSERT_EQ(scan.records.size(), 4u);
+  for (int point = 0; point < 4; ++point) {
+    EXPECT_EQ(scan.records[static_cast<std::size_t>(point)].point, point);
+    EXPECT_EQ(scan.completed.count(point), 1u);
+  }
+  // Point 0: 2 networks, all numbers populated.
+  const ResultRecord& first = scan.records[0];
+  ASSERT_EQ(first.pps.size(), 2u);
+  EXPECT_GT(first.overall_pps, 0.0);
+  EXPECT_GT(first.jain, 0.0);
+  ASSERT_EQ(first.sweep.size(), 2u);
+  EXPECT_EQ(first.sweep[0].first, "channels");
+  EXPECT_EQ(first.sweep[1].first, "scheme");
+}
+
+TEST(Campaign, InterruptAfterTwoPointsThenResumeIsByteIdentical) {
+  const std::string path = temp_path("interrupted.jsonl");
+  std::string error;
+
+  CampaignOptions interrupted = quiet_options(CampaignOptions::Mode::kOverwrite);
+  interrupted.max_points = 2;
+  CampaignStats stats;
+  ASSERT_TRUE(run_campaign(test_spec(), path, interrupted, &stats, error)) << error;
+  EXPECT_EQ(stats.computed, 2);
+  ASSERT_NE(read_file(path), reference_bytes());  // genuinely partial
+
+  ASSERT_TRUE(run_campaign(test_spec(), path, quiet_options(CampaignOptions::Mode::kResume),
+                           &stats, error))
+      << error;
+  EXPECT_EQ(stats.reused, 2);
+  EXPECT_EQ(stats.computed, 2);
+  EXPECT_EQ(read_file(path), reference_bytes());
+}
+
+TEST(Campaign, ResumeAfterTornWriteIsByteIdentical) {
+  const std::string path = temp_path("torn.jsonl");
+  std::string error;
+
+  CampaignOptions interrupted = quiet_options(CampaignOptions::Mode::kOverwrite);
+  interrupted.max_points = 1;
+  CampaignStats stats;
+  ASSERT_TRUE(run_campaign(test_spec(), path, interrupted, &stats, error)) << error;
+  // A kill mid-write leaves a partial record with no trailing newline.
+  append_bytes(path, R"({"v":1,"campaign":"campaign_under_)");
+
+  ASSERT_TRUE(run_campaign(test_spec(), path, quiet_options(CampaignOptions::Mode::kResume),
+                           &stats, error))
+      << error;
+  EXPECT_EQ(stats.reused, 1);
+  EXPECT_EQ(stats.computed, 3);
+  EXPECT_EQ(read_file(path), reference_bytes());
+}
+
+TEST(Campaign, JobCountDoesNotChangeTheBytes) {
+  const std::string path = temp_path("jobs.jsonl");
+  std::string error;
+  CampaignStats stats;
+  ASSERT_TRUE(run_campaign(test_spec(), path,
+                           quiet_options(CampaignOptions::Mode::kOverwrite, /*jobs=*/4),
+                           &stats, error))
+      << error;
+  EXPECT_EQ(read_file(path), reference_bytes());
+}
+
+TEST(Campaign, ResumeOfCompleteCampaignRecomputesNothing) {
+  const std::string path = temp_path("complete.jsonl");
+  std::string error;
+  CampaignStats stats;
+  ASSERT_TRUE(run_campaign(test_spec(), path, quiet_options(CampaignOptions::Mode::kOverwrite),
+                           &stats, error))
+      << error;
+  ASSERT_TRUE(run_campaign(test_spec(), path, quiet_options(CampaignOptions::Mode::kResume),
+                           &stats, error))
+      << error;
+  EXPECT_EQ(stats.computed, 0);
+  EXPECT_EQ(stats.reused, 4);
+  EXPECT_EQ(read_file(path), reference_bytes());
+}
+
+TEST(Campaign, FreshModeRefusesExistingStore) {
+  const std::string path = temp_path("fresh.jsonl");
+  std::string error;
+  CampaignStats stats;
+  ASSERT_TRUE(run_campaign(test_spec(), path, quiet_options(CampaignOptions::Mode::kOverwrite),
+                           &stats, error));
+  EXPECT_FALSE(run_campaign(test_spec(), path, quiet_options(CampaignOptions::Mode::kFresh),
+                            &stats, error));
+  EXPECT_NE(error.find("already exists"), std::string::npos);
+}
+
+TEST(Campaign, ResumeRefusesStoreFromDifferentSpec) {
+  const std::string path = temp_path("wrong_spec.jsonl");
+  std::string error;
+  CampaignStats stats;
+  ASSERT_TRUE(run_campaign(test_spec(), path, quiet_options(CampaignOptions::Mode::kOverwrite),
+                           &stats, error));
+
+  CampaignSpec changed = test_spec();
+  changed.base.trials = 3;  // any spec change flips the hash
+  EXPECT_FALSE(run_campaign(changed, path, quiet_options(CampaignOptions::Mode::kResume),
+                            &stats, error));
+  EXPECT_NE(error.find("different spec"), std::string::npos);
+}
+
+TEST(Campaign, RunPointMatchesStoredRecordNumbers) {
+  // format_record(run_point(...)) for point 0 must reproduce the reference
+  // store's first line exactly — the byte-determinism contract at the unit
+  // level, independent of run_campaign's bookkeeping.
+  const CampaignSpec spec = test_spec();
+  const auto points = expand_grid(spec);
+  sim::ParallelRunner runner{2};
+  const PointResult result = run_point(points[0].params, runner);
+  const std::string line = format_record(spec, points[0], result);
+  const std::string& reference = reference_bytes();
+  EXPECT_EQ(reference.substr(0, line.size() + 1), line + "\n");
+}
+
+}  // namespace
+}  // namespace nomc::exp

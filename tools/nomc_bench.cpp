@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cli/args.hpp"
+#include "cli/options.hpp"
 #include "phy/medium.hpp"
 #include "phy/path_loss.hpp"
 #include "sim/parallel.hpp"
@@ -94,13 +95,8 @@ int main(int argc, char** argv) {
   args.add_string("out", "BENCH_substrate.json", "output JSON path");
   args.add_double("min-ms", 100.0, "minimum measured wall time per benchmark (ms)");
   args.add_int("trial-jobs", 0, "jobs for the parallel replication benchmark (0 = all)");
-  if (!args.parse(argc - 1, argv + 1)) {
-    std::fprintf(stderr, "%s\n%s", args.error().c_str(), args.help(argv[0]).c_str());
-    return 2;
-  }
-  if (args.help_requested()) {
-    std::fputs(args.help(argv[0]).c_str(), stdout);
-    return 0;
+  if (const auto exit_code = cli::parse_standard(args, argc, argv, argv[0])) {
+    return *exit_code;
   }
   const double min_ms = args.get_double("min-ms");
 

@@ -1,0 +1,191 @@
+// nomc-campaign — declarative experiment-campaign driver.
+//
+// Expands a plain-text campaign spec (see docs/campaigns.md) into its sweep
+// grid, runs every point through the parallel trial runner, and checkpoints
+// completed points into a versioned JSONL result store, so an interrupted
+// campaign resumes without recomputing — byte-identically, at any --jobs.
+//
+//   nomc-campaign run examples/campaigns/fig01_cfd.campaign --jobs 0
+//   nomc-campaign resume examples/campaigns/fig01_cfd.campaign
+//   nomc-campaign list examples/campaigns/fig01_cfd.campaign
+//   nomc-campaign export-csv fig01_cfd.jsonl --out fig01_cfd.csv
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "cli/options.hpp"
+#include "exp/campaign.hpp"
+#include "exp/result_store.hpp"
+#include "exp/spec.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace nomc;
+
+int usage(std::FILE* out) {
+  std::fputs(
+      "usage: nomc-campaign <command> <file> [options]\n"
+      "\n"
+      "commands:\n"
+      "  run <spec.campaign>         run the campaign into a fresh JSONL store\n"
+      "  resume <spec.campaign>      continue an interrupted campaign\n"
+      "  list <spec.campaign>        show the sweep grid and completion status\n"
+      "  export-csv <store.jsonl>    convert a result store to long-format CSV\n"
+      "\n"
+      "options:\n"
+      "  --out <path>   result store path (default: <campaign name>.jsonl;\n"
+      "                 for export-csv: CSV path, default stdout)\n"
+      "  --jobs <n>     worker threads per point (0 = all hardware threads)\n"
+      "  --overwrite    run: discard an existing store\n"
+      "  --quiet        suppress per-point progress lines\n"
+      "\n"
+      "Spec grammar and the JSONL schema are documented in docs/campaigns.md.\n",
+      out);
+  return out == stdout ? 0 : 2;
+}
+
+cli::ArgParser make_options() {
+  cli::ArgParser args;
+  args.add_string("out", "", "result store path (default: <campaign name>.jsonl)");
+  args.add_int("jobs", 1, "worker threads per point (0 = all hardware threads)");
+  args.add_flag("overwrite", "run: discard an existing result store");
+  args.add_flag("quiet", "suppress per-point progress lines");
+  return args;
+}
+
+std::string store_path(const cli::ArgParser& args, const exp::CampaignSpec& spec) {
+  const std::string out = args.get_string("out");
+  return out.empty() ? spec.name + ".jsonl" : out;
+}
+
+int run_or_resume(const std::string& spec_path, const cli::ArgParser& args, bool resume) {
+  exp::CampaignSpec spec;
+  exp::SpecError spec_error;
+  if (!exp::load_campaign(spec_path, spec, spec_error)) {
+    std::fprintf(stderr, "%s: %s\n", spec_path.c_str(), spec_error.str().c_str());
+    return 1;
+  }
+
+  exp::CampaignOptions options;
+  options.jobs = args.get_int("jobs");
+  options.quiet = args.get_flag("quiet");
+  options.mode = resume ? exp::CampaignOptions::Mode::kResume
+                 : args.get_flag("overwrite") ? exp::CampaignOptions::Mode::kOverwrite
+                                              : exp::CampaignOptions::Mode::kFresh;
+
+  const std::string out_path = store_path(args, spec);
+  if (!options.quiet) {
+    std::printf("campaign %s (spec %s) -> %s\n", spec.name.c_str(),
+                exp::spec_hash(spec).c_str(), out_path.c_str());
+  }
+  exp::CampaignStats stats;
+  std::string error;
+  if (!exp::run_campaign(spec, out_path, options, &stats, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: %d point(s) computed, %d reused, %d total -> %s\n", spec.name.c_str(),
+              stats.computed, stats.reused, stats.total, out_path.c_str());
+  return 0;
+}
+
+int list_campaign(const std::string& spec_path, const cli::ArgParser& args) {
+  exp::CampaignSpec spec;
+  exp::SpecError spec_error;
+  if (!exp::load_campaign(spec_path, spec, spec_error)) {
+    std::fprintf(stderr, "%s: %s\n", spec_path.c_str(), spec_error.str().c_str());
+    return 1;
+  }
+  const std::string out_path = store_path(args, spec);
+
+  exp::StoreScan scan;
+  std::string error;
+  bool have_store = false;
+  if (std::FILE* file = std::fopen(out_path.c_str(), "rb"); file != nullptr) {
+    std::fclose(file);
+    if (!exp::scan_store(out_path, exp::spec_hash(spec), scan, error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    have_store = true;
+  }
+
+  std::printf("campaign %s (spec %s), store %s%s\n\n", spec.name.c_str(),
+              exp::spec_hash(spec).c_str(), out_path.c_str(),
+              have_store ? "" : " (not created yet)");
+  stats::TablePrinter table{{"point", "assignment", "status", "overall (pkt/s)", "jain"}};
+  for (const exp::SweepPoint& point : exp::expand_grid(spec)) {
+    std::string assignment;
+    for (const auto& [key, value] : point.assignment) {
+      if (!assignment.empty()) assignment += " ";
+      assignment += key + "=" + value;
+    }
+    if (assignment.empty()) assignment = "(base)";
+    const exp::ResultRecord* record = nullptr;
+    for (const exp::ResultRecord& candidate : scan.records) {
+      if (candidate.point == point.index) record = &candidate;
+    }
+    table.add_row({std::to_string(point.index), assignment, record ? "done" : "pending",
+                   record ? stats::TablePrinter::num(record->overall_pps, 1) : "-",
+                   record ? stats::TablePrinter::num(record->jain, 3) : "-"});
+  }
+  table.print();
+  return 0;
+}
+
+int export_csv(const std::string& store_file, const cli::ArgParser& args) {
+  exp::StoreScan scan;
+  std::string error;
+  if (!exp::scan_store(store_file, /*expected_hash=*/"", scan, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (scan.truncated_tail) {
+    std::fprintf(stderr, "note: dropped a torn trailing line (interrupted write)\n");
+  }
+
+  const std::string out_path = args.get_string("out");
+  std::FILE* out = out_path.empty() ? stdout : std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  const bool ok = exp::export_csv(scan.records, out);
+  if (out != stdout) std::fclose(out);
+  if (!ok) {
+    std::fprintf(stderr, "CSV export failed\n");
+    return 1;
+  }
+  if (!out_path.empty()) {
+    std::printf("%zu record(s) exported to %s\n", scan.records.size(), out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0)) {
+    return usage(stdout);
+  }
+  if (argc < 3) return usage(stderr);
+  const std::string command = argv[1];
+  const std::string file = argv[2];
+
+  cli::ArgParser args = make_options();
+  if (const auto exit_code =
+          cli::parse_standard(args, argc, argv, std::string{"nomc-campaign "} + command,
+                              /*first=*/3)) {
+    return *exit_code;
+  }
+
+  if (command == "run") return run_or_resume(file, args, /*resume=*/false);
+  if (command == "resume") return run_or_resume(file, args, /*resume=*/true);
+  if (command == "list") return list_campaign(file, args);
+  if (command == "export-csv") return export_csv(file, args);
+  std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+  return usage(stderr);
+}

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cli/args.hpp"
+#include "cli/options.hpp"
 #include "net/scenario.hpp"
 #include "net/topology.hpp"
 #include "phy/channel_plan.hpp"
@@ -28,19 +29,6 @@ struct Design {
   net::Scheme scheme = net::Scheme::kDcn;
   std::string scheme_name = "dcn";
 };
-
-bool parse_scheme(const std::string& name, net::Scheme& out) {
-  if (name == "fixed") {
-    out = net::Scheme::kFixedCca;
-  } else if (name == "dcn") {
-    out = net::Scheme::kDcn;
-  } else if (name == "carrier-sense") {
-    out = net::Scheme::kCarrierSense;
-  } else {
-    return false;
-  }
-  return true;
-}
 
 double run_once(const Design& design, const std::string& topology_name,
                 const net::RandomCaseConfig& base_topology, double band_start,
@@ -69,7 +57,7 @@ double run_once(const Design& design, const std::string& topology_name,
 int main(int argc, char** argv) {
   cli::ArgParser args;
   args.add_double("band-start", 2458.0, "first channel center (MHz), both designs");
-  args.add_string("topology", "dense", "dense | clustered | random");
+  cli::add_topology_option(args);
   args.add_double("power", 0.0, "fixed TX power (dBm); omit for random [-22, 0]");
   args.add_int("trials", 5, "paired random deployments");
   args.add_int("seed", 1, "base seed (trial i uses seed + i*1000003)");
@@ -78,19 +66,14 @@ int main(int argc, char** argv) {
   args.add_double("a-cfd", 5.0, "design A: channel distance (MHz)");
   args.add_int("a-channels", 4, "design A: channel count");
   args.add_int("a-links", 3, "design A: links per network");
-  args.add_string("a-scheme", "fixed", "design A: fixed | dcn | carrier-sense");
+  cli::add_scheme_option(args, "a-scheme", "fixed", "design A");
   args.add_double("b-cfd", 3.0, "design B: channel distance (MHz)");
   args.add_int("b-channels", 6, "design B: channel count");
   args.add_int("b-links", 2, "design B: links per network");
-  args.add_string("b-scheme", "dcn", "design B: fixed | dcn | carrier-sense");
+  cli::add_scheme_option(args, "b-scheme", "dcn", "design B");
 
-  if (!args.parse(argc - 1, argv + 1)) {
-    std::fprintf(stderr, "%s\n%s", args.error().c_str(), args.help(argv[0]).c_str());
-    return 2;
-  }
-  if (args.help_requested()) {
-    std::fputs(args.help(argv[0]).c_str(), stdout);
-    return 0;
+  if (const auto exit_code = cli::parse_standard(args, argc, argv, argv[0])) {
+    return *exit_code;
   }
 
   Design a;
@@ -103,10 +86,12 @@ int main(int argc, char** argv) {
   b.channels = args.get_int("b-channels");
   b.links = args.get_int("b-links");
   b.scheme_name = args.get_string("b-scheme");
-  if (!parse_scheme(a.scheme_name, a.scheme) || !parse_scheme(b.scheme_name, b.scheme)) {
-    std::fprintf(stderr, "schemes must be fixed | dcn | carrier-sense\n");
+  if (!cli::scheme_from_args(args, "a-scheme", a.scheme) ||
+      !cli::scheme_from_args(args, "b-scheme", b.scheme)) {
     return 2;
   }
+  std::string topology_name;
+  if (!cli::topology_from_args(args, "topology", topology_name)) return 2;
 
   net::RandomCaseConfig topology;
   if (args.provided("power")) {
@@ -121,11 +106,11 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed")) +
                                static_cast<std::uint64_t>(trial) * 1000003;
     const double result_a =
-        run_once(a, args.get_string("topology"), topology, args.get_double("band-start"),
-                 seed, args.get_double("warmup"), args.get_double("measure"));
+        run_once(a, topology_name, topology, args.get_double("band-start"), seed,
+                 args.get_double("warmup"), args.get_double("measure"));
     const double result_b =
-        run_once(b, args.get_string("topology"), topology, args.get_double("band-start"),
-                 seed, args.get_double("warmup"), args.get_double("measure"));
+        run_once(b, topology_name, topology, args.get_double("band-start"), seed,
+                 args.get_double("warmup"), args.get_double("measure"));
     stats_a.add(result_a);
     stats_b.add(result_b);
     if (result_a > 0.0) gain.add(100.0 * (result_b / result_a - 1.0));

@@ -13,169 +13,84 @@
 //
 //   # 32 independent deployments averaged, replicated across all cores:
 //   nomc_sim --scheme dcn --trials 32 --jobs 0
+//
+// One operating point of a sweep; for whole parameter sweeps with a result
+// store, see nomc-campaign. Both execute points through exp::run_point, so
+// their numbers agree exactly.
 #include <cstdio>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "cli/args.hpp"
+#include "cli/options.hpp"
+#include "exp/campaign.hpp"
 #include "net/scenario.hpp"
-#include "net/topology.hpp"
-#include "phy/channel_plan.hpp"
 #include "sim/parallel.hpp"
-#include "stats/fairness.hpp"
+#include "sim/trace.hpp"
 #include "stats/table.hpp"
 
 namespace {
 
 using namespace nomc;
 
-/// Per-network numbers of one trial, in network order.
-struct TrialResult {
-  std::vector<double> pps;
-  std::vector<double> prr;
-  std::vector<double> backoffs_per_s;
-  std::vector<double> drops_per_s;
-  double overall_pps = 0.0;
-};
-
 int run(const cli::ArgParser& args) {
-  const auto channels = phy::evenly_spaced(phy::Mhz{args.get_double("band-start")},
-                                           phy::Mhz{args.get_double("cfd")},
-                                           args.get_int("channels"));
+  exp::PointParams params;
+  params.scheme = args.get_string("scheme");
+  params.band_start_mhz = args.get_double("band-start");
+  params.cfd_mhz = args.get_double("cfd");
+  params.channels = args.get_int("channels");
+  params.links = args.get_int("links");
+  if (args.provided("power")) params.power_dbm = args.get_double("power");
+  params.cca_dbm = args.get_double("cca");
+  params.psdu_bytes = args.get_int("psdu");
+  params.warmup_s = args.get_double("warmup");
+  params.measure_s = args.get_double("measure");
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  params.trials = args.get_int("trials");
 
-  net::Scheme scheme = net::Scheme::kFixedCca;
-  const std::string scheme_name = args.get_string("scheme");
-  if (scheme_name == "dcn") {
-    scheme = net::Scheme::kDcn;
-  } else if (scheme_name == "carrier-sense") {
-    scheme = net::Scheme::kCarrierSense;
-  } else if (scheme_name != "fixed") {
-    std::fprintf(stderr, "unknown --scheme '%s' (fixed|dcn|carrier-sense)\n",
-                 scheme_name.c_str());
-    return 1;
-  }
-
-  net::RandomCaseConfig topology;
-  topology.links_per_network = args.get_int("links");
-  if (args.provided("power")) {
-    topology = topology.with_fixed_power(phy::Dbm{args.get_double("power")});
-  }
-  const std::uint64_t base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
-  const std::string topology_name = args.get_string("topology");
-  if (topology_name != "dense" && topology_name != "clustered" && topology_name != "random") {
-    std::fprintf(stderr, "unknown --topology '%s' (dense|clustered|random)\n",
-                 topology_name.c_str());
-    return 1;
-  }
-  const int trials = args.get_int("trials");
-  const int jobs = sim::resolve_jobs(args.get_int("jobs"));
-  if (trials < 1) {
+  net::Scheme scheme;
+  if (!cli::scheme_from_args(args, "scheme", scheme)) return 1;
+  if (!cli::topology_from_args(args, "topology", params.topology)) return 1;
+  if (params.trials < 1) {
     std::fprintf(stderr, "--trials must be >= 1\n");
     return 1;
   }
-  const double measure_s = args.get_double("measure");
 
   // The event trace is a single-run debugging artifact; averaging trials
   // would interleave unrelated runs, so the trace only attaches to trial 0
   // and --trace forces that trial to run alone on the calling thread.
   std::unique_ptr<sim::CsvTraceSink> trace;
-  if (args.provided("trace") && trials > 1) {
+  if (args.provided("trace") && params.trials > 1) {
     std::fprintf(stderr, "--trace requires --trials 1\n");
     return 1;
   }
-
-  // One self-contained deployment + run per trial; trial i is seeded like
-  // bench::trial_seed so CLI results line up with the figure benches.
-  auto run_trial = [&](int trial) {
-    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial) * 1000003;
-    sim::RandomStream placement{seed, 999};
-    std::vector<net::NetworkSpec> specs;
-    if (topology_name == "clustered") {
-      specs = net::case2_clustered(channels, placement, topology);
-    } else if (topology_name == "random") {
-      specs = net::case3_random(channels, placement, topology);
-    } else {
-      specs = net::case1_dense(channels, placement, topology);
-    }
-
-    net::ScenarioConfig config;
-    config.seed = seed;
-    config.psdu_bytes = args.get_int("psdu");
-    config.fixed_cca_threshold = phy::Dbm{args.get_double("cca")};
-    net::Scenario scenario{config};
-    if (trace && trial == 0) scenario.scheduler().set_trace(trace.get());
-    scenario.add_networks(specs, scheme);
-    scenario.run(sim::SimTime::seconds(args.get_double("warmup")),
-                 sim::SimTime::seconds(measure_s));
-
-    TrialResult result;
-    result.overall_pps = scenario.overall_throughput();
-    for (int n = 0; n < scenario.network_count(); ++n) {
-      const auto network = scenario.network_result(n);
-      double prr = 0.0;
-      double backoffs = 0.0;
-      double drops = 0.0;
-      for (const auto& link : network.links) {
-        prr += link.prr;
-        backoffs += static_cast<double>(link.sender.cca_backoffs);
-        drops += static_cast<double>(link.sender.cca_failures);
-      }
-      result.pps.push_back(network.throughput_pps);
-      result.prr.push_back(prr / static_cast<double>(network.links.size()));
-      result.backoffs_per_s.push_back(backoffs / measure_s);
-      result.drops_per_s.push_back(drops / measure_s);
-    }
-    return result;
-  };
-
   if (args.provided("trace")) {
     trace = std::make_unique<sim::CsvTraceSink>(args.get_string("trace"));
   }
-  sim::ParallelRunner runner{trace ? 1 : jobs};
-  const std::vector<TrialResult> per_trial = runner.map(trials, run_trial);
 
-  // Seed-ordered mean across trials (matches bench::run_band's averaging).
-  TrialResult mean;
-  const std::size_t networks = per_trial.front().pps.size();
-  mean.pps.assign(networks, 0.0);
-  mean.prr.assign(networks, 0.0);
-  mean.backoffs_per_s.assign(networks, 0.0);
-  mean.drops_per_s.assign(networks, 0.0);
-  for (const TrialResult& one : per_trial) {
-    for (std::size_t n = 0; n < networks; ++n) {
-      mean.pps[n] += one.pps[n];
-      mean.prr[n] += one.prr[n];
-      mean.backoffs_per_s[n] += one.backoffs_per_s[n];
-      mean.drops_per_s[n] += one.drops_per_s[n];
-    }
-    mean.overall_pps += one.overall_pps;
-  }
-  for (std::size_t n = 0; n < networks; ++n) {
-    mean.pps[n] /= trials;
-    mean.prr[n] /= trials;
-    mean.backoffs_per_s[n] /= trials;
-    mean.drops_per_s[n] /= trials;
-  }
-  mean.overall_pps /= trials;
+  sim::ParallelRunner runner{trace ? 1 : args.get_int("jobs")};
+  const exp::PointResult mean =
+      exp::run_point(params, runner, [&](int trial, net::Scenario& scenario) {
+        if (trace && trial == 0) scenario.scheduler().set_trace(trace.get());
+      });
 
-  std::printf("scheme=%s topology=%s channels=%zu cfd=%.1fMHz seed=%llu trials=%d jobs=%d\n\n",
-              scheme_name.c_str(), topology_name.c_str(), channels.size(),
-              args.get_double("cfd"), static_cast<unsigned long long>(base_seed), trials,
+  std::printf("scheme=%s topology=%s channels=%d cfd=%.1fMHz seed=%llu trials=%d jobs=%d\n\n",
+              params.scheme.c_str(), params.topology.c_str(), params.channels,
+              params.cfd_mhz, static_cast<unsigned long long>(params.seed), params.trials,
               runner.jobs());
 
   stats::TablePrinter table{{"network", "MHz", "pkt/s", "PRR", "backoffs/s", "drops/s"}};
-  for (std::size_t n = 0; n < networks; ++n) {
+  for (std::size_t n = 0; n < mean.pps.size(); ++n) {
     table.add_row({"N" + std::to_string(n),
-                   stats::TablePrinter::num(channels[n].value, 0),
+                   stats::TablePrinter::num(
+                       params.band_start_mhz + params.cfd_mhz * static_cast<double>(n), 0),
                    stats::TablePrinter::num(mean.pps[n], 1),
                    stats::TablePrinter::num(100.0 * mean.prr[n], 1) + "%",
                    stats::TablePrinter::num(mean.backoffs_per_s[n], 1),
                    stats::TablePrinter::num(mean.drops_per_s[n], 1)});
   }
   table.print();
-  std::printf("\noverall: %.1f pkt/s   Jain fairness: %.3f\n", mean.overall_pps,
-              stats::jain_index(mean.pps));
+  std::printf("\noverall: %.1f pkt/s   Jain fairness: %.3f\n", mean.overall_pps, mean.jain);
   if (trace) std::printf("trace written to %s\n", args.get_string("trace").c_str());
   return 0;
 }
@@ -187,8 +102,8 @@ int main(int argc, char** argv) {
   args.add_double("band-start", 2458.0, "first channel center frequency (MHz)");
   args.add_double("cfd", 3.0, "channel frequency distance (MHz)");
   args.add_int("channels", 6, "number of channels / networks");
-  args.add_string("scheme", "dcn", "channel access scheme: fixed | dcn | carrier-sense");
-  args.add_string("topology", "dense", "deployment: dense | clustered | random");
+  cli::add_scheme_option(args, "scheme", "dcn");
+  cli::add_topology_option(args);
   args.add_int("links", 2, "sender->receiver links per network");
   args.add_double("power", 0.0,
                   "fixed TX power (dBm) for all nodes; omit for random [-22, 0]");
@@ -201,13 +116,8 @@ int main(int argc, char** argv) {
   args.add_int("jobs", 1, "worker threads for trials (0 = all hardware threads)");
   args.add_string("trace", "", "write a CSV event trace to this path (needs --trials 1)");
 
-  if (!args.parse(argc - 1, argv + 1)) {
-    std::fprintf(stderr, "%s\n%s", args.error().c_str(), args.help(argv[0]).c_str());
-    return 2;
-  }
-  if (args.help_requested()) {
-    std::fputs(args.help(argv[0]).c_str(), stdout);
-    return 0;
+  if (const auto exit_code = cli::parse_standard(args, argc, argv, argv[0])) {
+    return *exit_code;
   }
   return run(args);
 }
