@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
 
 #include "cli/options.hpp"
 #include "net/scenario.hpp"
@@ -44,6 +45,44 @@ std::string assignment_label(const SweepPoint& point) {
     label += key + "=" + value;
   }
   return label.empty() ? "(single point)" : label;
+}
+
+/// Rebuild the timing sidecar for a resume: keep only well-formed lines for
+/// points whose record survived in the store (in their original order), so a
+/// kill mid-timing-write — or a record torn out of the store — never leaves
+/// a stale or torn line behind. The sidecar is best-effort wall-clock data;
+/// unlike the store, unreadable content is dropped, not an error.
+bool rewrite_timing_sidecar(const std::string& path, const std::set<int>& completed,
+                            StoreWriter& timing, std::string& error) {
+  std::string content;
+  if (std::FILE* file = std::fopen(path.c_str(), "rb"); file != nullptr) {
+    char buffer[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) content.append(buffer, got);
+    std::fclose(file);
+  }
+
+  std::vector<std::string> kept;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t newline = content.find('\n', start);
+    if (newline == std::string::npos) break;  // torn tail
+    std::string line = content.substr(start, newline - start);
+    start = newline + 1;
+    JsonValue parsed;
+    std::string json_error;
+    if (!parse_json(line, parsed, json_error)) continue;
+    const JsonValue* point = parsed.find("point");
+    if (point == nullptr || point->type != JsonValue::Type::kNumber) continue;
+    if (completed.count(static_cast<int>(point->number)) == 0) continue;
+    kept.push_back(std::move(line));
+  }
+
+  if (!timing.open(path, /*truncate=*/true, error)) return false;
+  for (const std::string& line : kept) {
+    if (!timing.append_line(line, error)) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -243,37 +282,67 @@ bool run_campaign(const CampaignSpec& spec, const std::string& out_path,
   }
 
   StoreWriter timing;
-  if (!timing.open(out_path + ".timing",
-                   /*truncate=*/options.mode != CampaignOptions::Mode::kResume, error)) {
-    return false;
+  if (options.mode == CampaignOptions::Mode::kResume) {
+    if (!rewrite_timing_sidecar(out_path + ".timing", existing.completed, timing, error)) {
+      return false;
+    }
+  } else {
+    if (!timing.open(out_path + ".timing", /*truncate=*/true, error)) return false;
   }
 
-  sim::ParallelRunner runner{options.jobs};
   local.reused = static_cast<int>(existing.completed.size());
-  for (const SweepPoint& point : points) {
-    if (existing.completed.count(point.index) != 0) continue;
-    if (options.max_points >= 0 && local.computed >= options.max_points) break;
 
+  // The points still to compute, in point order: checkpointer slot i is
+  // pending[i], so the dense slot sequence maps back to the (gappy, on
+  // resume) point indices.
+  std::vector<const SweepPoint*> pending;
+  for (const SweepPoint& point : points) {
+    if (existing.completed.count(point.index) == 0) pending.push_back(&point);
+  }
+  if (options.max_points >= 0 &&
+      pending.size() > static_cast<std::size_t>(options.max_points)) {
+    pending.resize(static_cast<std::size_t>(options.max_points));
+  }
+
+  // Two-level pool: point_jobs workers each own a jobs-wide trial pool
+  // (indexed by worker slot — no sharing, so pools never contend). With the
+  // default point_jobs=1 this is one trial pool and a serial point loop,
+  // exactly the pre-concurrency shape.
+  sim::ParallelRunner point_pool{options.point_jobs};
+  std::vector<std::unique_ptr<sim::ParallelRunner>> trial_pools;
+  trial_pools.reserve(static_cast<std::size_t>(point_pool.jobs()));
+  for (int w = 0; w < point_pool.jobs(); ++w) {
+    trial_pools.push_back(std::make_unique<sim::ParallelRunner>(options.jobs));
+  }
+
+  OrderedCheckpointer checkpointer{writer, timing,
+                                   static_cast<std::size_t>(2 * point_pool.jobs())};
+  point_pool.for_each_worker(static_cast<int>(pending.size()), [&](int worker, int slot) {
+    const SweepPoint& point = *pending[static_cast<std::size_t>(slot)];
     const auto start = std::chrono::steady_clock::now();
-    const PointResult result = run_point(point.params, runner);
+    const PointResult result = run_point(point.params, *trial_pools[static_cast<std::size_t>(worker)]);
     const double wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();
 
-    if (!writer.append_line(format_record(spec, point, result), error)) return false;
     std::string timing_line = "{\"point\":" + std::to_string(point.index) + ",\"wall_ms\":";
     json_append_double(timing_line, wall_ms);
     timing_line += '}';
-    if (!timing.append_line(timing_line, error)) return false;
 
-    ++local.computed;
+    std::string console;
     if (!options.quiet) {
-      std::printf("[%d/%d] %s  overall=%.1f pkt/s  jain=%.3f  (%.2fs)\n",
-                  point.index + 1, local.total, assignment_label(point).c_str(),
-                  result.overall_pps, result.jain, wall_ms / 1000.0);
-      std::fflush(stdout);
+      char buffer[256];
+      std::snprintf(buffer, sizeof buffer,
+                    "[%d/%d] %s  overall=%.1f pkt/s  jain=%.3f  (%.2fs)\n", point.index + 1,
+                    local.total, assignment_label(point).c_str(), result.overall_pps,
+                    result.jain, wall_ms / 1000.0);
+      console = buffer;
     }
-  }
+    checkpointer.submit(slot, format_record(spec, point, result), std::move(timing_line),
+                        std::move(console));
+  });
+  if (!checkpointer.finish(error)) return false;
+  local.computed = static_cast<int>(pending.size());
 
   if (stats != nullptr) *stats = local;
   return true;

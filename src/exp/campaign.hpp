@@ -1,13 +1,17 @@
-// CampaignRunner: expands a CampaignSpec into its sweep grid, executes each
-// point's trial batch on a sim::ParallelRunner, and checkpoints completed
-// points into the JSONL result store.
+// CampaignRunner: expands a CampaignSpec into its sweep grid, executes the
+// points on a two-level worker pool (point_jobs concurrent points, each
+// replicating its trials on a jobs-wide sim::ParallelRunner), and
+// checkpoints completed points into the JSONL result store through an
+// OrderedCheckpointer, so records land in point order no matter which point
+// finished first.
 //
 // Determinism contract: a point's record bytes are a pure function of the
 // spec — trials are seeded per point exactly like nomc-sim / bench::trial_seed
 // (seed + trial * 1000003) and merged in seed order, so the store is
 // byte-identical whether the campaign ran straight through, was interrupted
-// and resumed, or used any --jobs value. Checkpoint granularity is one sweep
-// point: resume re-runs at most the point that was in flight.
+// and resumed, or used any (jobs, point_jobs) combination. Checkpoint
+// granularity is one sweep point: resume re-runs at most the points that
+// were in flight.
 #pragma once
 
 #include <functional>
@@ -47,7 +51,12 @@ using TrialHook = std::function<void(int trial, net::Scenario&)>;
                                     const TrialHook& pre_run = {});
 
 struct CampaignOptions {
-  int jobs = 1;  ///< as sim::resolve_jobs (0 = all hardware threads)
+  int jobs = 1;  ///< trial threads per point, as sim::resolve_jobs (0 = all)
+  /// Sweep points computed concurrently (0 = all hardware threads). Each
+  /// point worker owns its own jobs-wide trial pool, so ~jobs * point_jobs
+  /// threads are busy at the peak; records still hit the store in point
+  /// order via OrderedCheckpointer.
+  int point_jobs = 1;
   enum class Mode {
     kFresh,      ///< error if the store already exists
     kOverwrite,  ///< truncate an existing store

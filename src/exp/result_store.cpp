@@ -376,6 +376,67 @@ void StoreWriter::close() {
   file_ = nullptr;
 }
 
+OrderedCheckpointer::OrderedCheckpointer(StoreWriter& store, StoreWriter& timing,
+                                         std::size_t max_pending)
+    : store_{store}, timing_{timing}, max_pending_{max_pending > 0 ? max_pending : 1} {}
+
+void OrderedCheckpointer::flush_ready() {
+  for (auto ready = pending_.find(next_slot_); ready != pending_.end();
+       ready = pending_.find(next_slot_)) {
+    Entry& entry = ready->second;
+    if (error_.empty()) {
+      if (!store_.append_line(entry.record, error_)) break;
+      if (!timing_.append_line(entry.timing, error_)) break;
+      if (!entry.console.empty()) {
+        std::fputs(entry.console.c_str(), stdout);
+        std::fflush(stdout);
+      }
+      ++flushed_;
+    }
+    pending_.erase(ready);
+    ++next_slot_;
+  }
+  space_cv_.notify_all();
+}
+
+bool OrderedCheckpointer::submit(int slot, std::string record_line, std::string timing_line,
+                                 std::string console_line) {
+  std::unique_lock<std::mutex> lock{mutex_};
+  // The next-to-flush submitter bypasses the bound: it is the one submission
+  // that lets the cursor advance, so waiting on it would deadlock.
+  space_cv_.wait(lock, [&] {
+    return slot == next_slot_ || pending_.size() < max_pending_ || !error_.empty();
+  });
+  if (!error_.empty()) return false;
+  pending_[slot] =
+      Entry{std::move(record_line), std::move(timing_line), std::move(console_line)};
+  flush_ready();
+  return error_.empty();
+}
+
+bool OrderedCheckpointer::finish(std::string& error) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (!error_.empty()) {
+    error = error_;
+    return false;
+  }
+  if (!pending_.empty()) {
+    // Can only happen if a submitter died before calling submit (its slot is
+    // a permanent gap); everything after it was buffered, not written.
+    error = "checkpointer finished with " + std::to_string(pending_.size()) +
+            " record(s) stuck behind missing slot " + std::to_string(next_slot_);
+    return false;
+  }
+  return true;
+}
+
+std::string csv_header(const std::vector<std::string>& sweep_keys) {
+  std::string header = "campaign,point";
+  for (const std::string& key : sweep_keys) header += "," + csv_escape(key);
+  header += ",network,pps,prr,backoffs_per_s,drops_per_s,overall_pps,jain\n";
+  return header;
+}
+
 std::string csv_escape(const std::string& field) {
   if (field.find_first_of(",\"\n") == std::string::npos) return field;
   std::string quoted = "\"";
@@ -398,9 +459,7 @@ bool export_csv(const std::vector<ResultRecord>& records, std::FILE* out) {
     }
   }
 
-  std::string header = "campaign,point";
-  for (const std::string& key : sweep_keys) header += "," + csv_escape(key);
-  header += ",network,pps,prr,backoffs_per_s,drops_per_s,overall_pps,jain\n";
+  const std::string header = csv_header(sweep_keys);
   if (std::fwrite(header.data(), 1, header.size(), out) != header.size()) return false;
 
   for (const ResultRecord& record : records) {

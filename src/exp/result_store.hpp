@@ -17,7 +17,10 @@
 // and resumed, or used a different --jobs value.
 #pragma once
 
+#include <condition_variable>
 #include <cstdio>
+#include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
@@ -106,9 +109,60 @@ class StoreWriter {
   std::string path_;
 };
 
+/// Reorders concurrently completed records back into slot order before they
+/// reach the store. Slots are dense 0..n-1 (the campaign engine numbers the
+/// points it is about to compute); any thread may submit any slot, and the
+/// checkpointer writes record + timing lines strictly in slot order — the
+/// store's bytes cannot depend on completion order.
+///
+/// The reorder buffer is bounded: submit() blocks while `max_pending`
+/// out-of-order records are already waiting, unless the submitted slot is
+/// the very one the flush cursor needs (that submitter must never wait, so
+/// the flush cursor always advances and the wait cannot deadlock).
+class OrderedCheckpointer {
+ public:
+  /// Lines flush to `store` and `timing`; a non-empty console line is
+  /// printed to stdout at flush time, so progress output is in slot order
+  /// too. Both writers must outlive the checkpointer.
+  OrderedCheckpointer(StoreWriter& store, StoreWriter& timing, std::size_t max_pending);
+
+  /// Thread-safe. Returns false once any flush has failed (later submits
+  /// become no-ops; the first error is reported by finish()).
+  bool submit(int slot, std::string record_line, std::string timing_line,
+              std::string console_line);
+
+  /// True when every submitted record flushed cleanly and no gaps remain;
+  /// fills `error` otherwise. Call after all submitters have finished.
+  bool finish(std::string& error);
+
+ private:
+  struct Entry {
+    std::string record, timing, console;
+  };
+  /// Flush consecutive entries starting at next_slot_. Caller holds mutex_.
+  void flush_ready();
+
+  StoreWriter& store_;
+  StoreWriter& timing_;
+  std::size_t max_pending_;
+  std::mutex mutex_;
+  std::condition_variable space_cv_;  // submitters wait here for buffer space
+  std::map<int, Entry> pending_;      // completed slots ahead of the cursor
+  int next_slot_ = 0;                 // flush cursor
+  int flushed_ = 0;
+  std::string error_;
+};
+
 /// Long-format CSV: one row per (point, network), sweep assignments as
 /// leading columns. Plot-friendly (pandas/R) without JSON tooling.
 bool export_csv(const std::vector<ResultRecord>& records, std::FILE* out);
+
+/// The export_csv header for the given sweep-key columns. The fixed columns
+/// and their order are a pinned public schema (tests/exp/store_test.cpp):
+///   campaign,point,<sweep keys...>,network,pps,prr,backoffs_per_s,
+///   drops_per_s,overall_pps,jain
+/// New store fields must append columns, never reorder these.
+[[nodiscard]] std::string csv_header(const std::vector<std::string>& sweep_keys);
 
 /// Quote a CSV field when it contains a comma, quote, or newline.
 [[nodiscard]] std::string csv_escape(const std::string& field);

@@ -238,6 +238,19 @@ bool parse_campaign(const std::string& text, CampaignSpec& out, SpecError& error
         axis.steps.push_back(std::move(values));
       }
       out.axes.push_back(std::move(axis));
+      // Overflow-checked grid budget, attributed to the axis that blew it:
+      // the product so far is always <= kMaxGridPoints, so the division
+      // below cannot lose information.
+      std::size_t total = 1;
+      for (const SweepAxis& a : out.axes) {
+        if (total > kMaxGridPoints / a.steps.size()) {
+          error.message = "sweep grid exceeds " + std::to_string(kMaxGridPoints) +
+                          " points (this axis multiplies the grid by " +
+                          std::to_string(a.steps.size()) + ")";
+          return false;
+        }
+        total *= a.steps.size();
+      }
       continue;
     }
 
@@ -287,6 +300,54 @@ bool load_campaign(const std::string& path, CampaignSpec& out, SpecError& error)
     return false;
   }
   return parse_campaign(text, out, error);
+}
+
+std::string format_campaign(const CampaignSpec& spec) {
+  const PointParams& p = spec.base;
+  std::string out = "name = " + spec.name + "\n";
+  out += "scheme = " + p.scheme + "\n";
+  out += "topology = " + p.topology + "\n";
+  out += "band-start = ";
+  append_double(out, p.band_start_mhz);
+  out += "\ncfd = ";
+  append_double(out, p.cfd_mhz);
+  out += "\nchannels = " + std::to_string(p.channels);
+  out += "\nlinks = " + std::to_string(p.links);
+  out += "\npower = ";
+  if (p.power_dbm.has_value()) {
+    append_double(out, *p.power_dbm);
+  } else {
+    out += "random";
+  }
+  out += "\ncca = ";
+  append_double(out, p.cca_dbm);
+  out += "\npsdu = " + std::to_string(p.psdu_bytes);
+  out += "\nwarmup = ";
+  append_double(out, p.warmup_s);
+  out += "\nmeasure = ";
+  append_double(out, p.measure_s);
+  char seed_buffer[32];
+  std::snprintf(seed_buffer, sizeof seed_buffer, "%" PRIu64, p.seed);
+  out += "\nseed = ";
+  out += seed_buffer;
+  out += "\ntrials = " + std::to_string(p.trials) + "\n";
+  for (const SweepAxis& axis : spec.axes) {
+    out += "sweep ";
+    for (std::size_t k = 0; k < axis.keys.size(); ++k) {
+      if (k > 0) out += '/';
+      out += axis.keys[k];
+    }
+    out += " =";
+    for (const std::vector<std::string>& step : axis.steps) {
+      out += ' ';
+      for (std::size_t k = 0; k < step.size(); ++k) {
+        if (k > 0) out += '/';
+        out += step[k];
+      }
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 std::vector<SweepPoint> expand_grid(const CampaignSpec& spec) {

@@ -63,9 +63,20 @@ struct SpecError {
   [[nodiscard]] std::string str() const;
 };
 
+/// Expanded grids larger than this are rejected at parse time (the product
+/// of the axis sizes is overflow-checked, so absurd sweeps fail with a line
+/// number instead of exhausting memory in expand_grid).
+inline constexpr std::size_t kMaxGridPoints = 1u << 20;
+
 /// Parse a spec from text. On failure returns false and fills `error` with a
 /// line-numbered message; `out` is left in an unspecified state.
 bool parse_campaign(const std::string& text, CampaignSpec& out, SpecError& error);
+
+/// Canonical spec text for `spec`: every base parameter explicit, axes in
+/// declaration order. parse_campaign(format_campaign(s)) reproduces s —
+/// same grid, same spec_hash — and formatting is idempotent
+/// (tests/exp/spec_test.cpp round-trips it).
+[[nodiscard]] std::string format_campaign(const CampaignSpec& spec);
 
 /// parse_campaign() over the contents of `path`.
 bool load_campaign(const std::string& path, CampaignSpec& out, SpecError& error);

@@ -13,7 +13,7 @@ int resolve_jobs(int requested) {
 ParallelRunner::ParallelRunner(int jobs) : jobs_{resolve_jobs(jobs)} {
   workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
   for (int i = 0; i < jobs_ - 1; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,8 +26,8 @@ ParallelRunner::~ParallelRunner() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ParallelRunner::drain_batch(std::uint64_t my_batch,
-                                 const std::function<void(int)>& task) {
+void ParallelRunner::drain_batch(int worker, std::uint64_t my_batch,
+                                 const std::function<void(int, int)>& task) {
   for (;;) {
     int index;
     {
@@ -41,7 +41,7 @@ void ParallelRunner::drain_batch(std::uint64_t my_batch,
     }
     std::exception_ptr error;
     try {
-      task(index);
+      task(worker, index);
     } catch (...) {
       error = std::current_exception();
     }
@@ -55,10 +55,10 @@ void ParallelRunner::drain_batch(std::uint64_t my_batch,
   }
 }
 
-void ParallelRunner::worker_loop() {
+void ParallelRunner::worker_loop(int worker) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(int)>* task = nullptr;
+    const std::function<void(int, int)>* task = nullptr;
     std::uint64_t my_batch = 0;
     {
       std::unique_lock<std::mutex> lock{mutex_};
@@ -70,15 +70,16 @@ void ParallelRunner::worker_loop() {
     }
     // task_ is nulled once a batch completes; a worker that slept through
     // the whole batch has nothing to do.
-    if (task != nullptr) drain_batch(my_batch, *task);
+    if (task != nullptr) drain_batch(worker, my_batch, *task);
   }
 }
 
-void ParallelRunner::run_batch(int count, const std::function<void(int)>& task) {
+void ParallelRunner::run_batch(int count, const std::function<void(int, int)>& task) {
   if (count <= 0) return;
   if (workers_.empty() || count == 1) {
-    // Serial path: no synchronization, runs on the calling thread.
-    for (int i = 0; i < count; ++i) task(i);
+    // Serial path: no synchronization, runs on the calling thread (which is
+    // always worker slot jobs-1, matching the parallel path below).
+    for (int i = 0; i < count; ++i) task(jobs_ - 1, i);
     return;
   }
   {
@@ -91,8 +92,8 @@ void ParallelRunner::run_batch(int count, const std::function<void(int)>& task) 
     ++batch_;
   }
   batch_cv_.notify_all();
-  // The calling thread is worker number jobs_.
-  drain_batch(batch_, task);
+  // The calling thread is worker slot jobs_-1 (pool threads are 0..jobs_-2).
+  drain_batch(jobs_ - 1, batch_, task);
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock{mutex_};

@@ -1,0 +1,160 @@
+// Crash-resume fuzz: interrupt a campaign at randomized points, truncate the
+// store (and its .timing sidecar) at randomized byte offsets — including
+// mid-record and mid-sidecar-line — then resume at a different
+// (jobs, point_jobs) split. The final store must always be byte-identical to
+// an uninterrupted serial run.
+//
+// Truncation is the exact failure shape of a kill mid-write with an
+// append+flush-per-line writer: some complete lines plus at most one torn
+// tail. Corruption *inside* the retained prefix is deliberately not fuzzed —
+// scan_store treats that as a hard error, not something to recover
+// (tests/exp/store_test.cpp locks that).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "exp/campaign.hpp"
+#include "exp/result_store.hpp"
+#include "exp/spec.hpp"
+
+namespace nomc::exp {
+namespace {
+
+// 4 cheap points: 2-network deployments, short windows.
+constexpr const char* kSpecText =
+    "name = fuzz_campaign\n"
+    "topology = dense\n"
+    "power = 0\n"
+    "channels = 2\n"
+    "warmup = 0.2\n"
+    "measure = 0.4\n"
+    "trials = 2\n"
+    "sweep cfd = 3 5\n"
+    "sweep scheme = fixed dcn\n";
+
+CampaignSpec fuzz_spec() {
+  CampaignSpec spec;
+  SpecError error;
+  EXPECT_TRUE(parse_campaign(kSpecText, spec, error)) << error.str();
+  return spec;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "nomc_fuzz_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return "";
+  std::string content;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) content.append(buffer, got);
+  std::fclose(file);
+  return content;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr) << path;
+  ASSERT_EQ(std::fwrite(content.data(), 1, content.size(), file), content.size());
+  std::fclose(file);
+}
+
+/// Drop everything from byte `offset` on — what the filesystem keeps when a
+/// writer dies mid-write.
+void truncate_at(const std::string& path, std::size_t offset) {
+  std::string content = read_file(path);
+  if (offset < content.size()) content.resize(offset);
+  write_file(path, content);
+}
+
+const std::string& reference_bytes() {
+  static const std::string bytes = [] {
+    const std::string path = temp_path("reference.jsonl");
+    CampaignOptions options;
+    options.mode = CampaignOptions::Mode::kOverwrite;
+    options.quiet = true;
+    CampaignStats stats;
+    std::string error;
+    EXPECT_TRUE(run_campaign(fuzz_spec(), path, options, &stats, error)) << error;
+    EXPECT_EQ(stats.computed, 4);
+    return read_file(path);
+  }();
+  return bytes;
+}
+
+TEST(CampaignFuzz, RandomTruncationAndResumeIsByteIdentical) {
+  const CampaignSpec spec = fuzz_spec();
+  const std::string& reference = reference_bytes();
+  ASSERT_FALSE(reference.empty());
+
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed));
+    std::mt19937_64 rng{seed};
+    const std::string path = temp_path("case_" + std::to_string(seed) + ".jsonl");
+
+    // Interrupted first leg: a random prefix of the grid at a random split.
+    CampaignOptions first;
+    first.mode = CampaignOptions::Mode::kOverwrite;
+    first.quiet = true;
+    first.max_points = static_cast<int>(rng() % 4);  // 0..3 of 4 points
+    first.jobs = 1 + static_cast<int>(rng() % 2);
+    first.point_jobs = 1 + static_cast<int>(rng() % 3);
+    CampaignStats stats;
+    std::string error;
+    ASSERT_TRUE(run_campaign(spec, path, first, &stats, error)) << error;
+
+    // Kill: truncate the store at a random offset biased toward the tail so
+    // mid-record, mid-number, and exact-boundary cuts all occur; give the
+    // timing sidecar an independent cut.
+    const std::string store = read_file(path);
+    if (!store.empty()) {
+      const std::size_t window = store.size() < 200 ? store.size() : 200;
+      truncate_at(path, store.size() - (rng() % (window + 1)));
+    }
+    const std::string timing = read_file(path + ".timing");
+    if (!timing.empty()) {
+      truncate_at(path + ".timing", timing.size() - (rng() % (timing.size() + 1)));
+    }
+
+    // Resume at a different split; bytes must match the serial reference.
+    CampaignOptions second;
+    second.mode = CampaignOptions::Mode::kResume;
+    second.quiet = true;
+    second.jobs = 1 + static_cast<int>(rng() % 2);
+    second.point_jobs = 1 + static_cast<int>(rng() % 3);
+    ASSERT_TRUE(run_campaign(spec, path, second, &stats, error)) << error;
+    EXPECT_EQ(read_file(path), reference);
+
+    // The rebuilt sidecar holds only whole, parsable lines in strictly
+    // ascending point order — no torn or stale lines survive the crash. It
+    // may hold fewer lines than the store: a timing line truncated away for
+    // an already-completed point is gone for good (wall time cannot be
+    // remeasured), which is why timing lives outside the primary store.
+    StoreScan scan;
+    ASSERT_TRUE(scan_store(path, spec_hash(spec), scan, error)) << error;
+    const std::string sidecar = read_file(path + ".timing");
+    std::size_t lines = 0;
+    std::size_t start = 0;
+    int last_point = -1;
+    while (start < sidecar.size()) {
+      const std::size_t newline = sidecar.find('\n', start);
+      ASSERT_NE(newline, std::string::npos) << "torn sidecar line survived";
+      JsonValue parsed;
+      ASSERT_TRUE(parse_json(sidecar.substr(start, newline - start), parsed, error)) << error;
+      const JsonValue* point = parsed.find("point");
+      ASSERT_NE(point, nullptr);
+      EXPECT_GT(static_cast<int>(point->number), last_point) << "sidecar out of point order";
+      last_point = static_cast<int>(point->number);
+      ++lines;
+      start = newline + 1;
+    }
+    EXPECT_LE(lines, scan.records.size());
+  }
+}
+
+}  // namespace
+}  // namespace nomc::exp

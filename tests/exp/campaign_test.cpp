@@ -160,6 +160,82 @@ TEST(Campaign, JobCountDoesNotChangeTheBytes) {
   EXPECT_EQ(read_file(path), reference_bytes());
 }
 
+TEST(Campaign, PointJobsDoesNotChangeTheBytes) {
+  // Campaign-level parallelism: points computed concurrently, checkpointed
+  // in order through the reorder buffer — the store must not care.
+  for (const int point_jobs : {2, 3}) {
+    SCOPED_TRACE("point_jobs " + std::to_string(point_jobs));
+    const std::string path = temp_path("point_jobs.jsonl");
+    std::string error;
+    CampaignStats stats;
+    CampaignOptions options = quiet_options(CampaignOptions::Mode::kOverwrite, /*jobs=*/2);
+    options.point_jobs = point_jobs;
+    ASSERT_TRUE(run_campaign(test_spec(), path, options, &stats, error)) << error;
+    EXPECT_EQ(stats.computed, 4);
+    EXPECT_EQ(read_file(path), reference_bytes());
+  }
+}
+
+TEST(Campaign, TornWriteResumeWithPointJobsIsByteIdentical) {
+  // Torn-write recovery composes with out-of-order completion: interrupt a
+  // parallel run mid-record AND mid-timing-line, resume at a different
+  // split, and the store still matches the serial reference.
+  const std::string path = temp_path("torn_parallel.jsonl");
+  std::string error;
+
+  CampaignOptions interrupted = quiet_options(CampaignOptions::Mode::kOverwrite);
+  interrupted.max_points = 2;
+  interrupted.point_jobs = 2;
+  CampaignStats stats;
+  ASSERT_TRUE(run_campaign(test_spec(), path, interrupted, &stats, error)) << error;
+  append_bytes(path, R"({"v":1,"campaign":"campaign_under_)");
+  append_bytes(path + ".timing", R"({"point":2,"wall)");
+
+  CampaignOptions resumed = quiet_options(CampaignOptions::Mode::kResume, /*jobs=*/2);
+  resumed.point_jobs = 3;
+  ASSERT_TRUE(run_campaign(test_spec(), path, resumed, &stats, error)) << error;
+  EXPECT_EQ(stats.reused, 2);
+  EXPECT_EQ(stats.computed, 2);
+  EXPECT_EQ(read_file(path), reference_bytes());
+}
+
+TEST(Campaign, ResumeRebuildsTimingSidecar) {
+  // The sidecar after a torn-write resume holds whole parsable lines only,
+  // one per newly-computed point plus the surviving completed-point lines.
+  const std::string path = temp_path("sidecar.jsonl");
+  std::string error;
+
+  CampaignOptions interrupted = quiet_options(CampaignOptions::Mode::kOverwrite);
+  interrupted.max_points = 1;
+  CampaignStats stats;
+  ASSERT_TRUE(run_campaign(test_spec(), path, interrupted, &stats, error)) << error;
+  append_bytes(path + ".timing", "{\"point\":1,\"wall_ms\":");  // torn timing line
+
+  CampaignOptions resumed = quiet_options(CampaignOptions::Mode::kResume);
+  resumed.point_jobs = 2;
+  ASSERT_TRUE(run_campaign(test_spec(), path, resumed, &stats, error)) << error;
+  EXPECT_EQ(read_file(path), reference_bytes());
+
+  const std::string sidecar = read_file(path + ".timing");
+  int lines = 0;
+  std::size_t start = 0;
+  int expected_point = 0;
+  while (start < sidecar.size()) {
+    const std::size_t newline = sidecar.find('\n', start);
+    ASSERT_NE(newline, std::string::npos) << "torn sidecar line survived resume";
+    JsonValue parsed;
+    ASSERT_TRUE(parse_json(sidecar.substr(start, newline - start), parsed, error)) << error;
+    const JsonValue* point = parsed.find("point");
+    ASSERT_NE(point, nullptr);
+    EXPECT_EQ(static_cast<int>(point->number), expected_point++);
+    ASSERT_NE(parsed.find("wall_ms"), nullptr);
+    EXPECT_GT(parsed.find("wall_ms")->number, 0.0);
+    ++lines;
+    start = newline + 1;
+  }
+  EXPECT_EQ(lines, 4);  // point 0 survived; points 1..3 freshly timed
+}
+
 TEST(Campaign, ResumeOfCompleteCampaignRecomputesNothing) {
   const std::string path = temp_path("complete.jsonl");
   std::string error;

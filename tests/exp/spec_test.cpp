@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+
 namespace nomc::exp {
 namespace {
 
@@ -182,6 +185,99 @@ TEST(Spec, LoadMissingFileFailsWithoutLine) {
   EXPECT_FALSE(load_campaign("/nonexistent/path.campaign", spec, error));
   EXPECT_EQ(error.line, 0);
   EXPECT_EQ(error.str().find("line"), std::string::npos);
+}
+
+// -- Grid budget -----------------------------------------------------------
+
+std::string sweep_line(const std::string& key, int values) {
+  std::string line = "sweep " + key + " =";
+  for (int i = 1; i <= values; ++i) line += " " + std::to_string(i);
+  return line + "\n";
+}
+
+TEST(Spec, GridWithinBudgetAccepted) {
+  // 1024 * 2 * 512 = exactly kMaxGridPoints: the budget is inclusive.
+  const CampaignSpec spec =
+      parse_ok(sweep_line("trials", 1024) + sweep_line("channels", 2) + sweep_line("psdu", 512));
+  std::size_t total = 1;
+  for (const SweepAxis& axis : spec.axes) total *= axis.steps.size();
+  EXPECT_EQ(total, kMaxGridPoints);
+}
+
+TEST(Spec, OversizedGridReportsOffendingSweepLine) {
+  // 256 * 256 fits; the third axis multiplies past the budget and line 4
+  // (not line 1) must carry the blame.
+  const SpecError error = parse_fail("name = big\n" + sweep_line("cfd", 256) +
+                                     sweep_line("channels", 256) + sweep_line("psdu", 17));
+  EXPECT_EQ(error.line, 4);
+  EXPECT_NE(error.message.find("sweep grid exceeds"), std::string::npos);
+  EXPECT_NE(error.message.find(std::to_string(kMaxGridPoints)), std::string::npos);
+  EXPECT_NE(error.message.find("multiplies the grid by 17"), std::string::npos);
+}
+
+TEST(Spec, OverflowProofProductRejectsHugeAxes) {
+  // 2047 * 2048 overflows the budget but not std::size_t; the divide-based
+  // check must reject it on the second sweep line without wrapping.
+  const SpecError error =
+      parse_fail(sweep_line("psdu", 2047) + sweep_line("trials", 1 << 11));
+  EXPECT_EQ(error.line, 2);
+  EXPECT_NE(error.message.find("sweep grid exceeds"), std::string::npos);
+}
+
+// -- format_campaign: canonical round-trip ----------------------------------
+
+TEST(Spec, FormatParsesBackToSameGridAndHash) {
+  const char* texts[] = {
+      "",
+      "name = rt\nscheme = fixed\ncfd = 2.5\npower = -7.25\nseed = 18446744073709551615\n",
+      "power = random\ntrials = 9\nsweep cfd = 9 5 3\n",
+      "sweep cfd/channels = 9/1 5/2 3/4\nsweep scheme = fixed dcn\n",
+      "band-start = 902.5\nwarmup = 0.25\nmeasure = 1.5\ncca = -62.5\n"
+      "links = 3\npsdu = 64\nsweep channels = 5 6 7\n",
+  };
+  for (const char* text : texts) {
+    SCOPED_TRACE(text);
+    const CampaignSpec spec = parse_ok(text);
+    const std::string canonical = format_campaign(spec);
+    const CampaignSpec reparsed = parse_ok(canonical);
+    EXPECT_EQ(spec_hash(reparsed), spec_hash(spec));
+    EXPECT_EQ(expand_grid(reparsed).size(), expand_grid(spec).size());
+    // Idempotent: formatting the reparse reproduces the canonical text.
+    EXPECT_EQ(format_campaign(reparsed), canonical);
+  }
+}
+
+TEST(Spec, FormatRoundTripsRandomSpecs) {
+  // Property check over generated specs: format -> parse preserves the hash
+  // (i.e. every semantically relevant field survives) and is idempotent.
+  std::mt19937_64 rng{20260805};
+  for (int round = 0; round < 50; ++round) {
+    std::string text = "name = prop_" + std::to_string(round) + "\n";
+    text += "scheme = " + std::string{rng() % 2 ? "dcn" : "fixed"} + "\n";
+    text += "cfd = " + std::to_string(1 + rng() % 9) + "\n";
+    text += "channels = " + std::to_string(1 + rng() % 6) + "\n";
+    text += "trials = " + std::to_string(1 + rng() % 5) + "\n";
+    text += "seed = " + std::to_string(rng()) + "\n";
+    if (rng() % 2) {
+      text += "power = " + std::string{rng() % 2 ? "random" : std::to_string(-10 + (int)(rng() % 21))} + "\n";
+    }
+    if (rng() % 2) text += sweep_line("psdu", 2 + (int)(rng() % 3));
+    if (rng() % 2) text += "sweep scheme = fixed dcn\n";
+    if (rng() % 2) {
+      text += "sweep cfd/channels =";
+      const int steps = 2 + (int)(rng() % 3);
+      for (int s = 0; s < steps; ++s) {
+        text += " " + std::to_string(1 + rng() % 9) + "/" + std::to_string(1 + rng() % 6);
+      }
+      text += "\n";
+    }
+    SCOPED_TRACE(text);
+    const CampaignSpec spec = parse_ok(text);
+    const std::string canonical = format_campaign(spec);
+    const CampaignSpec reparsed = parse_ok(canonical);
+    EXPECT_EQ(spec_hash(reparsed), spec_hash(spec));
+    EXPECT_EQ(format_campaign(reparsed), canonical);
+  }
 }
 
 // -- Hashing ---------------------------------------------------------------

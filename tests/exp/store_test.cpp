@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace nomc::exp {
 namespace {
@@ -219,6 +221,120 @@ TEST(Store, ExportCsvLongFormat) {
   EXPECT_NE(content.find("c,0,9,1,20,"), std::string::npos);
   EXPECT_NE(content.find("c,1,5,0,7,"), std::string::npos);
   EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 4);
+}
+
+// The column schema is a public contract: downstream notebooks select by
+// name AND position. These bytes may gain trailing columns but never reorder.
+TEST(Store, CsvHeaderBytesArePinned) {
+  EXPECT_EQ(csv_header({}),
+            "campaign,point,network,pps,prr,backoffs_per_s,drops_per_s,overall_pps,jain\n");
+  EXPECT_EQ(csv_header({"cfd", "channels"}),
+            "campaign,point,cfd,channels,network,pps,prr,backoffs_per_s,drops_per_s,"
+            "overall_pps,jain\n");
+  // Sweep-key columns appear in the order given (first-seen order in
+  // export_csv), not sorted — and are escaped like any other field.
+  EXPECT_EQ(csv_header({"b,key", "a"}),
+            "campaign,point,\"b,key\",a,network,pps,prr,backoffs_per_s,drops_per_s,"
+            "overall_pps,jain\n");
+}
+
+TEST(Store, ExportCsvUsesFirstSeenSweepKeyOrder) {
+  ResultRecord a;
+  std::string error;
+  ASSERT_TRUE(parse_record(kRecordA, a, error));
+  a.sweep = {{"zeta", "1"}, {"alpha", "2"}};
+
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  ASSERT_TRUE(export_csv({a}, tmp));
+  std::rewind(tmp);
+  std::string content(4096, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), tmp));
+  std::fclose(tmp);
+  EXPECT_EQ(content.substr(0, content.find('\n') + 1), csv_header({"zeta", "alpha"}));
+  EXPECT_NE(content.find("c,0,1,2,0,"), std::string::npos);  // zeta=1 before alpha=2
+}
+
+// -- Ordered checkpointing -------------------------------------------------
+
+struct CheckpointerFixture {
+  std::string path;
+  StoreWriter store;
+  StoreWriter timing;
+
+  explicit CheckpointerFixture(const std::string& name) : path{temp_path(name)} {
+    std::string error;
+    EXPECT_TRUE(store.open(path, /*truncate=*/true, error)) << error;
+    EXPECT_TRUE(timing.open(path + ".timing", /*truncate=*/true, error)) << error;
+  }
+
+  std::string store_bytes() {
+    store.close();
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(file, nullptr);
+    std::string content(16384, '\0');
+    content.resize(std::fread(content.data(), 1, content.size(), file));
+    std::fclose(file);
+    return content;
+  }
+};
+
+TEST(Checkpointer, OutOfOrderSubmitsFlushInSlotOrder) {
+  CheckpointerFixture fx{"ckpt_order.jsonl"};
+  OrderedCheckpointer checkpointer{fx.store, fx.timing, 8};
+  EXPECT_TRUE(checkpointer.submit(2, "r2", "t2", ""));
+  EXPECT_TRUE(checkpointer.submit(0, "r0", "t0", ""));
+  EXPECT_TRUE(checkpointer.submit(1, "r1", "t1", ""));
+  std::string error;
+  EXPECT_TRUE(checkpointer.finish(error)) << error;
+  EXPECT_EQ(fx.store_bytes(), "r0\nr1\nr2\n");
+}
+
+TEST(Checkpointer, FinishReportsGap) {
+  CheckpointerFixture fx{"ckpt_gap.jsonl"};
+  OrderedCheckpointer checkpointer{fx.store, fx.timing, 8};
+  EXPECT_TRUE(checkpointer.submit(0, "r0", "t0", ""));
+  EXPECT_TRUE(checkpointer.submit(2, "r2", "t2", ""));
+  std::string error;
+  EXPECT_FALSE(checkpointer.finish(error));
+  EXPECT_NE(error.find("missing slot 1"), std::string::npos);
+  EXPECT_EQ(fx.store_bytes(), "r0\n");  // nothing written past the gap
+}
+
+TEST(Checkpointer, NextSlotSubmitterBypassesFullBuffer) {
+  // max_pending = 1 and slot 1 arrives first, filling the buffer. Slot 0's
+  // submit must not block on space — it is the submission that frees it.
+  CheckpointerFixture fx{"ckpt_bypass.jsonl"};
+  OrderedCheckpointer checkpointer{fx.store, fx.timing, 1};
+  EXPECT_TRUE(checkpointer.submit(1, "r1", "t1", ""));
+  EXPECT_TRUE(checkpointer.submit(0, "r0", "t0", ""));
+  EXPECT_TRUE(checkpointer.submit(2, "r2", "t2", ""));
+  std::string error;
+  EXPECT_TRUE(checkpointer.finish(error)) << error;
+  EXPECT_EQ(fx.store_bytes(), "r0\nr1\nr2\n");
+}
+
+TEST(Checkpointer, ConcurrentSubmittersSerializeInSlotOrder) {
+  // 8 threads each submit one slot, deliberately biased so high slots tend
+  // to arrive first; a tight bound of 2 forces real blocking. The store must
+  // still come out in slot order. Run under TSan in CI.
+  CheckpointerFixture fx{"ckpt_mt.jsonl"};
+  OrderedCheckpointer checkpointer{fx.store, fx.timing, 2};
+  constexpr int kSlots = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kSlots);
+  for (int slot = kSlots - 1; slot >= 0; --slot) {
+    threads.emplace_back([&checkpointer, slot] {
+      EXPECT_TRUE(checkpointer.submit(slot, "r" + std::to_string(slot),
+                                      "t" + std::to_string(slot), ""));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::string error;
+  EXPECT_TRUE(checkpointer.finish(error)) << error;
+  std::string expected;
+  for (int slot = 0; slot < kSlots; ++slot) expected += "r" + std::to_string(slot) + "\n";
+  EXPECT_EQ(fx.store_bytes(), expected);
 }
 
 }  // namespace

@@ -36,11 +36,16 @@ int usage(std::FILE* out) {
       "  export-csv <store.jsonl>    convert a result store to long-format CSV\n"
       "\n"
       "options:\n"
-      "  --out <path>   result store path (default: <campaign name>.jsonl;\n"
-      "                 for export-csv: CSV path, default stdout)\n"
-      "  --jobs <n>     worker threads per point (0 = all hardware threads)\n"
-      "  --overwrite    run: discard an existing store\n"
-      "  --quiet        suppress per-point progress lines\n"
+      "  --out <path>      result store path (default: <campaign name>.jsonl;\n"
+      "                    for export-csv: CSV path, default stdout)\n"
+      "  --jobs <n>        trial threads per point (0 = all hardware threads)\n"
+      "  --point-jobs <n>  sweep points computed concurrently (default 1;\n"
+      "                    0 = all hardware threads). The store is written in\n"
+      "                    point order and byte-identical for every value.\n"
+      "  --max-points <n>  stop after computing n new points (testing aid;\n"
+      "                    resume finishes the rest)\n"
+      "  --overwrite       run: discard an existing store\n"
+      "  --quiet           suppress per-point progress lines\n"
       "\n"
       "Spec grammar and the JSONL schema are documented in docs/campaigns.md.\n",
       out);
@@ -50,7 +55,9 @@ int usage(std::FILE* out) {
 cli::ArgParser make_options() {
   cli::ArgParser args;
   args.add_string("out", "", "result store path (default: <campaign name>.jsonl)");
-  args.add_int("jobs", 1, "worker threads per point (0 = all hardware threads)");
+  args.add_int("jobs", 1, "trial threads per point (0 = all hardware threads)");
+  args.add_int("point-jobs", 1, "sweep points computed concurrently (0 = all)");
+  args.add_int("max-points", -1, "stop after computing this many new points");
   args.add_flag("overwrite", "run: discard an existing result store");
   args.add_flag("quiet", "suppress per-point progress lines");
   return args;
@@ -71,6 +78,8 @@ int run_or_resume(const std::string& spec_path, const cli::ArgParser& args, bool
 
   exp::CampaignOptions options;
   options.jobs = args.get_int("jobs");
+  options.point_jobs = args.get_int("point-jobs");
+  options.max_points = args.get_int("max-points");
   options.quiet = args.get_flag("quiet");
   options.mode = resume ? exp::CampaignOptions::Mode::kResume
                  : args.get_flag("overwrite") ? exp::CampaignOptions::Mode::kOverwrite
