@@ -43,7 +43,8 @@ PprRun run(Mode mode, bool jammed, std::uint64_t seed) {
   link.receiver_pos = {0.0, 2.0};
   link.tx_power = phy::Dbm{-22.0};
   scenario.add_link(victim, link);
-  scenario.fixed_cca(victim, 0).set(phy::Dbm{-55.0});  // relaxed past inter-channel leakage, still defers to co-channel (NACKs)
+  // Relaxed past inter-channel leakage, still defers to co-channel (NACKs).
+  scenario.fixed_cca(victim, 0).set(phy::Dbm{-55.0});
 
   if (jammed) {
     const struct {

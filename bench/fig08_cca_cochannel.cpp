@@ -30,7 +30,8 @@ int main() {
       f.src = probe.sender_radio(n, 0).node();
       f.channel = bench::kVictimChannel;
       f.tx_power = phy::Dbm{0.0};
-      const double rss = probe.medium().rss(f, probe.sender_radio(setup.victim_network, 0).node()).value;
+      const double rss =
+          probe.medium().rss(f, probe.sender_radio(setup.victim_network, 0).node()).value;
       min_rss = std::min(min_rss, rss);
     }
     std::printf("Min co-channel RSS at victim sender: %.1f dBm\n\n", min_rss);
@@ -39,7 +40,8 @@ int main() {
   stats::TablePrinter table{{"CCA thr (dBm)", "sent (pkt/s)", "received (pkt/s)", "PRR"}};
   for (int thr = -95; thr <= -20; thr += 5) {
     net::Scenario scenario;
-    const bench::Fig5Setup setup = bench::build_fig5(scenario, phy::Dbm{0.0}, /*cochannel_links=*/3);
+    const bench::Fig5Setup setup =
+        bench::build_fig5(scenario, phy::Dbm{0.0}, /*cochannel_links=*/3);
     scenario.fixed_cca(setup.victim_network, 0).set(phy::Dbm{static_cast<double>(thr)});
     scenario.run(sim::SimTime::seconds(1.0), sim::SimTime::seconds(8.0));
 

@@ -320,7 +320,8 @@ bool run_campaign(const CampaignSpec& spec, const std::string& out_path,
   point_pool.for_each_worker(static_cast<int>(pending.size()), [&](int worker, int slot) {
     const SweepPoint& point = *pending[static_cast<std::size_t>(slot)];
     const auto start = std::chrono::steady_clock::now();
-    const PointResult result = run_point(point.params, *trial_pools[static_cast<std::size_t>(worker)]);
+    const PointResult result =
+        run_point(point.params, *trial_pools[static_cast<std::size_t>(worker)]);
     const double wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();

@@ -9,6 +9,7 @@
 #include <set>
 
 #include "cli/options.hpp"
+#include "exp/result_store.hpp"
 
 namespace nomc::exp {
 namespace {
@@ -96,11 +97,9 @@ bool valid_name(const std::string& name) {
   return true;
 }
 
-void append_double(std::string& out, double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "%.17g", value);
-  out += buffer;
-}
+// Canonical double text (spec hash + sweep values) reuses the store's
+// pinned round-trip format so the two never drift apart.
+void append_double(std::string& out, double value) { json_append_double(out, value); }
 
 }  // namespace
 

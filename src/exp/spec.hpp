@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "mac/cca.hpp"
+
 namespace nomc::exp {
 
 /// One operating point: everything needed to deploy and run a Scenario.
@@ -34,7 +36,7 @@ struct PointParams {
   int channels = 6;
   int links = 2;
   std::optional<double> power_dbm;  ///< nullopt = random [-22, 0] dBm per node
-  double cca_dbm = -77.0;           ///< fixed-scheme CCA threshold
+  double cca_dbm = mac::kZigbeeDefaultCcaThreshold.value;  ///< fixed-scheme CCA threshold
   int psdu_bytes = 100;
   double warmup_s = 2.0;
   double measure_s = 8.0;

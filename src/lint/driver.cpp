@@ -1,0 +1,257 @@
+#include "lint/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <utility>
+
+namespace nomc::lint {
+
+namespace {
+
+[[nodiscard]] std::string trim(const std::string& text) {
+  const std::size_t first = text.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const std::size_t last = text.find_last_not_of(" \t\r");
+  return text.substr(first, last - first + 1);
+}
+
+/// Parse every `allow(...)` / `allow-file(...)` directive in a comment.
+struct SuppressionScan {
+  std::vector<std::string> line_rules;  ///< allow(...) rule ids
+  std::vector<std::string> file_rules;  ///< allow-file(...) rule ids
+};
+
+[[nodiscard]] SuppressionScan parse_suppressions(const std::string& comment) {
+  SuppressionScan scan;
+  const std::string tag = "nomc-lint:";
+  std::size_t pos = comment.find(tag);
+  if (pos == std::string::npos) return scan;
+  pos += tag.size();
+  while (pos < comment.size()) {
+    const std::size_t allow = comment.find("allow", pos);
+    if (allow == std::string::npos) break;
+    std::size_t cursor = allow + 5;
+    const bool whole_file = comment.compare(cursor, 5, "-file") == 0;
+    if (whole_file) cursor += 5;
+    if (cursor >= comment.size() || comment[cursor] != '(') {
+      pos = cursor;
+      continue;
+    }
+    const std::size_t close = comment.find(')', cursor);
+    if (close == std::string::npos) break;
+    std::string ids = comment.substr(cursor + 1, close - cursor - 1);
+    std::string current;
+    auto flush = [&] {
+      const std::string id = trim(current);
+      current.clear();
+      if (id.empty()) return;
+      (whole_file ? scan.file_rules : scan.line_rules).push_back(id);
+    };
+    for (const char c : ids) {
+      if (c == ',') {
+        flush();
+      } else {
+        current += c;
+      }
+    }
+    flush();
+    pos = close + 1;
+  }
+  return scan;
+}
+
+void apply_suppressions(const SourceFile& file, std::vector<Finding>& findings) {
+  std::set<std::pair<int, std::string>> line_allows;  // (line, rule)
+  std::set<std::string> file_allows;
+  for (const Comment& comment : file.comments) {
+    const SuppressionScan scan = parse_suppressions(comment.text);
+    for (const std::string& rule : scan.file_rules) file_allows.insert(rule);
+    for (const std::string& rule : scan.line_rules) {
+      // The comment's own lines plus the line after it (so a standalone
+      // suppression comment covers the statement below).
+      for (int line = comment.line; line <= comment.end_line + 1; ++line) {
+        line_allows.insert({line, rule});
+      }
+    }
+  }
+  for (Finding& finding : findings) {
+    const Diagnostic& d = finding.diagnostic;
+    if (file_allows.count(d.rule_id) > 0 || line_allows.count({d.line, d.rule_id}) > 0) {
+      finding.suppressed = true;
+    }
+  }
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    const Diagnostic& x = a.diagnostic;
+    const Diagnostic& y = b.diagnostic;
+    return std::tie(x.path, x.line, x.col, x.rule_id) < std::tie(y.path, y.line, y.col, y.rule_id);
+  });
+}
+
+[[nodiscard]] bool has_extension(const std::string& path, const char* ext) {
+  const std::string suffix{ext};
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+[[nodiscard]] bool cpp_file(const std::string& path) {
+  return has_extension(path, ".cpp") || has_extension(path, ".cc") ||
+         has_extension(path, ".hpp") || has_extension(path, ".h") || has_extension(path, ".hh");
+}
+
+}  // namespace
+
+std::vector<Finding> lint_cpp_source(const SourceFile& file) {
+  std::vector<Diagnostic> diagnostics;
+  run_cpp_rules(file, diagnostics);
+  std::vector<Finding> findings;
+  findings.reserve(diagnostics.size());
+  for (Diagnostic& diagnostic : diagnostics) {
+    Finding finding;
+    finding.line_text = trim(file.line_text(diagnostic.line));
+    finding.diagnostic = std::move(diagnostic);
+    findings.push_back(std::move(finding));
+  }
+  apply_suppressions(file, findings);
+  sort_findings(findings);
+  return findings;
+}
+
+std::vector<Finding> lint_campaign_text(const std::string& path, const std::string& content) {
+  std::vector<Diagnostic> diagnostics;
+  run_campaign_rules(path, content, diagnostics);
+  std::vector<Finding> findings;
+  const bool allow_all = content.find("nomc-lint: allow(golden-regen-note)") != std::string::npos;
+  for (Diagnostic& diagnostic : diagnostics) {
+    Finding finding;
+    finding.suppressed = allow_all;
+    finding.diagnostic = std::move(diagnostic);
+    findings.push_back(std::move(finding));
+  }
+  sort_findings(findings);
+  return findings;
+}
+
+bool lint_path(const std::string& path, std::vector<Finding>& out, std::string& error) {
+  if (cpp_file(path)) {
+    SourceFile file;
+    if (!scan_file(path, file, error)) return false;
+    std::vector<Finding> findings = lint_cpp_source(file);
+    out.insert(out.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+    return true;
+  }
+  if (has_extension(path, ".campaign")) {
+    SourceFile file;  // reuse the reader; tokens are ignored for specs
+    if (!scan_file(path, file, error)) return false;
+    std::vector<Finding> findings = lint_campaign_text(file.path, file.content);
+    out.insert(out.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+    return true;
+  }
+  return true;  // unsupported extension: nothing to do
+}
+
+bool collect_files(const std::string& root, std::vector<std::string>& out, std::string& error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status status = fs::status(root, ec);
+  if (ec) {
+    error = "cannot stat " + root + ": " + ec.message();
+    return false;
+  }
+  if (fs::is_regular_file(status)) {
+    out.push_back(root);
+    return true;
+  }
+  if (!fs::is_directory(status)) {
+    error = root + " is neither a file nor a directory";
+    return false;
+  }
+  std::vector<std::string> found;
+  for (fs::recursive_directory_iterator it{root, ec}, end; it != end; it.increment(ec)) {
+    if (ec) {
+      error = "walking " + root + ": " + ec.message();
+      return false;
+    }
+    if (!it->is_regular_file()) continue;
+    const std::string path = it->path().generic_string();
+    if (cpp_file(path) || has_extension(path, ".campaign")) found.push_back(path);
+  }
+  std::sort(found.begin(), found.end());
+  out.insert(out.end(), found.begin(), found.end());
+  return true;
+}
+
+bool Baseline::load(const std::string& path, std::string& error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return true;  // missing baseline = empty baseline
+  std::string content;
+  char buffer[1 << 14];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) content.append(buffer, got);
+  std::fclose(file);
+  std::size_t start = 0;
+  int line_number = 0;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    const std::string line = trim(content.substr(start, end - start));
+    ++line_number;
+    start = end + 1;
+    if (end == content.size() && line.empty()) break;
+    if (line.empty() || line[0] == '#') continue;
+    // path|rule|line text — two pipes minimum.
+    const std::size_t first = line.find('|');
+    const std::size_t second = first == std::string::npos ? std::string::npos
+                                                          : line.find('|', first + 1);
+    if (second == std::string::npos) {
+      error = path + ":" + std::to_string(line_number) + ": malformed baseline entry";
+      return false;
+    }
+    entries_.push_back(line);
+  }
+  return true;
+}
+
+std::string Baseline::key(const Finding& finding) {
+  return finding.diagnostic.path + "|" + finding.diagnostic.rule_id + "|" + finding.line_text;
+}
+
+void Baseline::apply(std::vector<Finding>& findings) {
+  for (Finding& finding : findings) {
+    if (finding.suppressed) continue;
+    const std::string key_text = key(finding);
+    const auto it = std::find(entries_.begin(), entries_.end(), key_text);
+    if (it != entries_.end()) {
+      finding.baselined = true;
+      entries_.erase(it);
+    }
+  }
+}
+
+std::string Baseline::serialize(const std::vector<Finding>& findings) {
+  std::string out =
+      "# nomc-lint baseline — grandfathered findings, one `path|rule|line` entry each.\n"
+      "# Regenerate with `nomc-lint --write-baseline`; keep a justification comment\n"
+      "# above every entry you re-admit. New findings never match this file.\n";
+  for (const Finding& finding : findings) {
+    if (finding.suppressed || finding.baselined) continue;
+    out += Baseline::key(finding);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_diagnostic(const Finding& finding) {
+  const Diagnostic& d = finding.diagnostic;
+  std::string out = d.path + ":" + std::to_string(d.line) + ":" + std::to_string(d.col) +
+                    ": warning: " + d.message + " [" + d.rule_id + "]";
+  return out;
+}
+
+}  // namespace nomc::lint

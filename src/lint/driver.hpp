@@ -1,0 +1,78 @@
+// nomc-lint driver: runs the rule catalog over files, applies inline
+// suppressions and the checked-in baseline, and renders clang-style
+// diagnostics.
+//
+// Suppression syntax (inside any comment):
+//   // nomc-lint: allow(rule-id)            this line and the next
+//   // nomc-lint: allow(rule-a, rule-b)     several rules at once
+//   // nomc-lint: allow-file(rule-id)       the whole file
+// A suppression placed on its own line covers the following line, so it can
+// sit above the code it justifies. Campaign specs use the same syntax after
+// a '#'.
+//
+// Baseline: a text file of `path|rule-id|trimmed source line` entries.
+// Findings matching a baseline entry (same file, rule, and line *content* —
+// line numbers may drift) are reported as baselined and do not fail the
+// run. `nomc-lint --write-baseline` regenerates it; entries should carry a
+// justification comment above them (lines starting with '#').
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "lint/source.hpp"
+
+namespace nomc::lint {
+
+struct Finding {
+  Diagnostic diagnostic;
+  std::string line_text;   ///< trimmed source line (baseline key material)
+  bool suppressed = false; ///< matched an inline allow()
+  bool baselined = false;  ///< matched a baseline entry
+};
+
+/// Lint one already-scanned C++ file: run rules, then mark suppressions.
+[[nodiscard]] std::vector<Finding> lint_cpp_source(const SourceFile& file);
+
+/// Lint a .campaign file's text the same way (rules + '#' suppressions).
+[[nodiscard]] std::vector<Finding> lint_campaign_text(const std::string& path,
+                                                      const std::string& content);
+
+/// Lint any supported file from disk; dispatches on extension. Unsupported
+/// extensions produce no findings. Returns false on read errors.
+bool lint_path(const std::string& path, std::vector<Finding>& out, std::string& error);
+
+/// Recursively collect lintable files (.cpp/.cc/.hpp/.h/.hh/.campaign)
+/// under `root` (or `root` itself when it is a file), sorted so output and
+/// baselines are stable.
+bool collect_files(const std::string& root, std::vector<std::string>& out, std::string& error);
+
+// ---- Baseline ------------------------------------------------------------
+
+class Baseline {
+ public:
+  /// Load entries from `path`. A missing file is not an error (empty
+  /// baseline); a malformed line is.
+  bool load(const std::string& path, std::string& error);
+
+  /// Mark findings that match an entry as baselined. Each entry absorbs at
+  /// most one finding (multiset semantics), so a *new* duplicate of a
+  /// baselined pattern still fails the run.
+  void apply(std::vector<Finding>& findings);
+
+  /// Serialize the unsuppressed findings as baseline entries.
+  [[nodiscard]] static std::string serialize(const std::vector<Finding>& findings);
+
+  [[nodiscard]] static std::string key(const Finding& finding);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::string> entries_;  ///< remaining unmatched keys
+};
+
+/// `file:line:col: warning: message [rule-id]`
+[[nodiscard]] std::string format_diagnostic(const Finding& finding);
+
+}  // namespace nomc::lint

@@ -1,0 +1,76 @@
+// nomc-lint rule catalog.
+//
+// Each rule is a pure function from a scanned SourceFile to diagnostics.
+// Rules are heuristic by design — they work on the token stream, not a full
+// AST — so every rule is named, documented, and individually suppressible
+// with `// nomc-lint: allow(rule-id)` (see driver.hpp). The catalog:
+//
+// Determinism (the campaign store must be byte-identical at any job split):
+//   det-rand              banned nondeterministic / stdlib RNG outside
+//                         src/sim/random.* (rand, random_device, <random>
+//                         engines and distributions, random_shuffle)
+//   det-time-seed         wall-clock used as a seed: time(0)/time(nullptr)
+//   det-unordered-output  range-for over an unordered container whose loop
+//                         body reaches an output sink (store/checkpoint/
+//                         CSV/stdio) — iteration order is not deterministic
+//   det-g-format          'g'-conversion float formatting anywhere except
+//                         exp::result_store's pinned %.17g — shortest-round-
+//                         trip output elsewhere silently loses precision
+//
+// Unit safety (paper arithmetic: dBm is log scale, mW is linear):
+//   unit-dbm-mw-mix       + or - between an identifier named like a dBm
+//                         quantity and one named like milliwatts without a
+//                         phy::to_milliwatts/to_dbm conversion in the
+//                         expression
+//   unit-naked-cca        a naked CCA-threshold literal (-77, -91) next to
+//                         cca/threshold context outside dcn/config.hpp and
+//                         mac/cca.hpp — use the named constants
+//
+// Hygiene:
+//   hyg-pragma-once       header without #pragma once as its first directive
+//   hyg-using-namespace-std  `using namespace std` in a header
+//   hyg-todo-issue        TODO-/FIXME-marker without an owner/issue tag;
+//                         compliant forms are TODO(#42) and TODO(name)
+//
+// Golden stores:
+//   golden-regen-note     tests/golden/*.campaign spec missing the
+//                         regeneration command (`nomc-campaign run ...
+//                         --overwrite`) in its header comment — the ctest
+//                         guard prints that command on byte drift
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace nomc::lint {
+
+struct Diagnostic {
+  std::string path;
+  int line = 1;
+  int col = 1;
+  std::string rule_id;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// All rules, in catalog order (drives --list-rules and the docs).
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// True when `id` names a catalog rule.
+[[nodiscard]] bool known_rule(const std::string& id);
+
+/// Run every C++ rule applicable to `file` (path-based exemptions are the
+/// rules' own business). Diagnostics are appended in source order.
+void run_cpp_rules(const SourceFile& file, std::vector<Diagnostic>& out);
+
+/// Run the campaign-spec rules (golden-regen-note) on a .campaign file.
+void run_campaign_rules(const std::string& path, const std::string& content,
+                        std::vector<Diagnostic>& out);
+
+}  // namespace nomc::lint

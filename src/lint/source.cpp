@@ -1,0 +1,229 @@
+#include "lint/source.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+namespace nomc::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// The multi-character operators the rules must not split: "a->b" contains
+/// no minus, "a<<b" no less-than. Longest match first.
+constexpr const char* kMultiOps[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+};
+
+}  // namespace
+
+bool SourceFile::is_header() const {
+  auto ends_with = [this](const char* suffix) {
+    const std::string s{suffix};
+    return path.size() >= s.size() && path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".hpp") || ends_with(".h") || ends_with(".hh");
+}
+
+const std::string& SourceFile::line_text(int line) const {
+  static const std::string kEmpty;
+  if (line < 1 || static_cast<std::size_t>(line) > lines.size()) return kEmpty;
+  return lines[static_cast<std::size_t>(line) - 1];
+}
+
+SourceFile scan_source(std::string path, std::string content) {
+  SourceFile out;
+  out.path = std::move(path);
+  out.content = std::move(content);
+
+  // Split lines up front so diagnostics and baseline entries can quote them.
+  {
+    std::string current;
+    for (const char c : out.content) {
+      if (c == '\n') {
+        out.lines.push_back(current);
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+    if (!current.empty()) out.lines.push_back(current);
+  }
+
+  const std::string& src = out.content;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v') {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      Comment comment{.text = {}, .line = line, .col = col, .end_line = line};
+      advance(2);
+      while (i < n && src[i] != '\n') {
+        comment.text += src[i];
+        advance(1);
+      }
+      out.comments.push_back(std::move(comment));
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      Comment comment{.text = {}, .line = line, .col = col, .end_line = line};
+      advance(2);
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        comment.text += src[i];
+        advance(1);
+      }
+      advance(2);  // closing */
+      comment.end_line = line;
+      out.comments.push_back(std::move(comment));
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      Token token{.kind = Token::Kind::kString, .text = {}, .line = line, .col = col};
+      token.text += src[i];
+      advance(1);  // R
+      token.text += src[i];
+      advance(1);  // opening quote
+      std::string delim;
+      while (i < n && src[i] != '(') {
+        delim += src[i];
+        token.text += src[i];
+        advance(1);
+      }
+      const std::string closer = ")" + delim + "\"";
+      while (i < n && src.compare(i, closer.size(), closer) != 0) {
+        token.text += src[i];
+        advance(1);
+      }
+      for (std::size_t k = 0; k < closer.size() && i < n; ++k) {
+        token.text += src[i];
+        advance(1);
+      }
+      out.tokens.push_back(std::move(token));
+      continue;
+    }
+    // String / char literal with escape handling.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      Token token{.kind = quote == '"' ? Token::Kind::kString : Token::Kind::kCharLit,
+                  .text = {},
+                  .line = line,
+                  .col = col};
+      token.text += src[i];
+      advance(1);
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          token.text += src[i];
+          advance(1);
+        }
+        if (src[i] == '\n') break;  // unterminated literal: stop at the line end
+        token.text += src[i];
+        advance(1);
+      }
+      if (i < n && src[i] == quote) {
+        token.text += src[i];
+        advance(1);
+      }
+      out.tokens.push_back(std::move(token));
+      continue;
+    }
+    // Identifier.
+    if (ident_start(c)) {
+      Token token{.kind = Token::Kind::kIdentifier, .text = {}, .line = line, .col = col};
+      while (i < n && ident_char(src[i])) {
+        token.text += src[i];
+        advance(1);
+      }
+      out.tokens.push_back(std::move(token));
+      continue;
+    }
+    // Number (decimal/hex/float; a leading '-' stays a separate punct token).
+    if (digit(c) || (c == '.' && i + 1 < n && digit(src[i + 1]))) {
+      Token token{.kind = Token::Kind::kNumber, .text = {}, .line = line, .col = col};
+      while (i < n && (ident_char(src[i]) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > 0 &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                         src[i - 1] == 'P') &&
+                        !token.text.empty()))) {
+        token.text += src[i];
+        advance(1);
+      }
+      out.tokens.push_back(std::move(token));
+      continue;
+    }
+    // Multi-character operator.
+    bool matched = false;
+    for (const char* op : kMultiOps) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (src.compare(i, len, op) == 0) {
+        out.tokens.push_back(
+            Token{.kind = Token::Kind::kPunct, .text = op, .line = line, .col = col});
+        advance(len);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    // Single-character punctuation (also the fallback for any stray byte).
+    out.tokens.push_back(
+        Token{.kind = Token::Kind::kPunct, .text = std::string(1, c), .line = line, .col = col});
+    advance(1);
+  }
+
+  return out;
+}
+
+bool scan_file(const std::string& path, SourceFile& out, std::string& error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::string content;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    content.append(buffer, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    error = "read error on " + path;
+    return false;
+  }
+  out = scan_source(path, std::move(content));
+  return true;
+}
+
+}  // namespace nomc::lint

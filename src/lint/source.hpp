@@ -1,0 +1,54 @@
+// Lightweight C++ source scanner for nomc-lint.
+//
+// Not a parser: a single-pass tokenizer that understands just enough C++
+// lexing — line/block comments, string/char literals (including raw
+// strings), identifiers, numbers, and multi-character operators — to let
+// rules reason about code tokens without being fooled by comment or string
+// content. Every token and comment carries a 1-based line:col so findings
+// render as clickable clang-style diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nomc::lint {
+
+struct Token {
+  enum class Kind { kIdentifier, kNumber, kString, kCharLit, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;  ///< verbatim spelling (string tokens keep their quotes)
+  int line = 1;
+  int col = 1;
+};
+
+struct Comment {
+  std::string text;  ///< contents without the // or /* */ delimiters
+  int line = 1;      ///< line where the comment starts
+  int col = 1;
+  int end_line = 1;  ///< last line the comment touches (== line for //)
+};
+
+/// One scanned file: raw bytes plus the token/comment streams rules walk.
+struct SourceFile {
+  std::string path;
+  std::string content;
+  std::vector<std::string> lines;  ///< content split on '\n' (no terminator)
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+
+  /// True when `path` ends in any of the given extensions.
+  [[nodiscard]] bool is_header() const;
+
+  /// The verbatim source line (1-based); empty when out of range.
+  [[nodiscard]] const std::string& line_text(int line) const;
+};
+
+/// Tokenize `content` as C++ source. Never fails: bytes that fit no token
+/// class are consumed as single-character punctuation.
+[[nodiscard]] SourceFile scan_source(std::string path, std::string content);
+
+/// Read and scan a file from disk. Returns false (and sets `error`) when the
+/// file cannot be read.
+bool scan_file(const std::string& path, SourceFile& out, std::string& error);
+
+}  // namespace nomc::lint

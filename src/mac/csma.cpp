@@ -83,6 +83,11 @@ void CsmaMac::start_attempt() {
 }
 
 void CsmaMac::backoff_then_cca() {
+  // In steady state pending_event_ is always invalid here. A stale tx-done —
+  // a frame left in flight by this radio's previous listener — can restart
+  // the attempt while a CCA timer is still pending; overwriting the id would
+  // orphan that timer past the destructor's cancel (use-after-scope).
+  if (pending_event_ != sim::kInvalidEventId) scheduler_.cancel(pending_event_);
   const std::int64_t max_units = (std::int64_t{1} << be_) - 1;
   const std::int64_t units = rng_.uniform_int(0, max_units);
   pending_event_ = scheduler_.schedule_in(units * params_.unit_backoff + params_.cca_duration,

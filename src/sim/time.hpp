@@ -23,8 +23,12 @@ class SimTime {
   constexpr SimTime() = default;
 
   [[nodiscard]] static constexpr SimTime nanoseconds(std::int64_t ns) { return SimTime{ns}; }
-  [[nodiscard]] static constexpr SimTime microseconds(std::int64_t us) { return SimTime{us * 1'000}; }
-  [[nodiscard]] static constexpr SimTime milliseconds(std::int64_t ms) { return SimTime{ms * 1'000'000}; }
+  [[nodiscard]] static constexpr SimTime microseconds(std::int64_t us) {
+    return SimTime{us * 1'000};
+  }
+  [[nodiscard]] static constexpr SimTime milliseconds(std::int64_t ms) {
+    return SimTime{ms * 1'000'000};
+  }
   [[nodiscard]] static constexpr SimTime seconds(double s) {
     return SimTime{static_cast<std::int64_t>(s * 1e9)};
   }
@@ -42,13 +46,23 @@ class SimTime {
 
   constexpr SimTime& operator+=(SimTime d) { ns_ += d.ns_; return *this; }
   constexpr SimTime& operator-=(SimTime d) { ns_ -= d.ns_; return *this; }
-  [[nodiscard]] friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.ns_ + b.ns_}; }
-  [[nodiscard]] friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.ns_ - b.ns_}; }
-  [[nodiscard]] friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.ns_ * k}; }
-  [[nodiscard]] friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return SimTime{a.ns_ * k}; }
+  [[nodiscard]] friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  [[nodiscard]] friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  [[nodiscard]] friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.ns_ * k};
+  }
+  [[nodiscard]] friend constexpr SimTime operator*(std::int64_t k, SimTime a) {
+    return SimTime{a.ns_ * k};
+  }
 
   /// Integral division: how many whole `b` intervals fit into `a`.
-  [[nodiscard]] friend constexpr std::int64_t operator/(SimTime a, SimTime b) { return a.ns_ / b.ns_; }
+  [[nodiscard]] friend constexpr std::int64_t operator/(SimTime a, SimTime b) {
+    return a.ns_ / b.ns_;
+  }
 
  private:
   explicit constexpr SimTime(std::int64_t ns) : ns_{ns} {}

@@ -25,6 +25,10 @@ CsvTraceSink::CsvTraceSink(const std::string& path) {
 CsvTraceSink::~CsvTraceSink() { std::fclose(static_cast<FILE*>(file_)); }
 
 void CsvTraceSink::emit(const TraceRecord& record) {
+  // Traces are a human debugging aid, not a determinism-bearing artifact
+  // like the campaign store: 6 significant digits keeps them readable, and
+  // nothing diffs or resumes from them.
+  // nomc-lint: allow(det-g-format)
   std::fprintf(static_cast<FILE*>(file_), "%.3f,%s,%s,%u,%.6g,%s\n",
                record.at.to_microseconds(), record.category, record.event, record.node,
                record.value, record.detail.c_str());

@@ -37,7 +37,8 @@ StandardTraits traits_for(Standard standard) {
       return {phy::ChannelRejection{}, phy::Mhz{0.5}, phy::BerModel::kOqpsk154,
               mac::kZigbeeDefaultCcaThreshold};
   }
-  return {phy::ChannelRejection{}, phy::Mhz{0.5}, phy::BerModel::kOqpsk154, phy::Dbm{-77.0}};
+  return {phy::ChannelRejection{}, phy::Mhz{0.5}, phy::BerModel::kOqpsk154,
+          mac::kZigbeeDefaultCcaThreshold};
 }
 
 /// One saturated sender→receiver pair assembled on a shared medium.

@@ -259,7 +259,8 @@ TEST(Spec, FormatRoundTripsRandomSpecs) {
     text += "trials = " + std::to_string(1 + rng() % 5) + "\n";
     text += "seed = " + std::to_string(rng()) + "\n";
     if (rng() % 2) {
-      text += "power = " + std::string{rng() % 2 ? "random" : std::to_string(-10 + (int)(rng() % 21))} + "\n";
+      text += "power = " +
+              std::string{rng() % 2 ? "random" : std::to_string(-10 + (int)(rng() % 21))} + "\n";
     }
     if (rng() % 2) text += sweep_line("psdu", 2 + (int)(rng() % 3));
     if (rng() % 2) text += "sweep scheme = fixed dcn\n";

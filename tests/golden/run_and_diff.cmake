@@ -45,8 +45,18 @@ endif()
 execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${store}" "${GOLDEN}"
                 RESULT_VARIABLE diff)
 if(NOT diff EQUAL 0)
+  # Every golden spec header carries its own backtick-quoted regeneration
+  # command (the golden-regen-note lint rule enforces this); print that
+  # command verbatim so the fix is copy-pasteable from the test log.
+  file(STRINGS "${SPEC}" regen_lines REGEX "^#.*`nomc-campaign [^`]+`")
+  set(regen_cmd "nomc-campaign run ${SPEC} --overwrite")
+  if(regen_lines)
+    list(GET regen_lines 0 regen_line)
+    string(REGEX MATCH "`(nomc-campaign [^`]+)`" _ "${regen_line}")
+    set(regen_cmd "${CMAKE_MATCH_1}")
+  endif()
   message(FATAL_ERROR
     "${spec_name}: store diverges from golden ${GOLDEN}.\n"
     "If the numeric change is intentional, regenerate the golden with:\n"
-    "  nomc-campaign run ${SPEC} --out ${GOLDEN} --overwrite")
+    "  ${regen_cmd}")
 endif()

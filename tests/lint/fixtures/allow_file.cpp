@@ -1,0 +1,8 @@
+// Fixture for lint_tests: a file-wide suppression covers every instance.
+// nomc-lint: allow-file(det-g-format)
+#include <cstdio>
+
+void fixture_all(double value) {
+  std::printf("a=%g\n", value);
+  std::printf("b=%G\n", value);
+}

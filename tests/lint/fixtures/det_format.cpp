@@ -1,0 +1,12 @@
+// Fixture for lint_tests: det-g-format. Fixed-precision conversions and
+// escaped percent signs stay clean.
+#include <cstdio>
+
+void fixture_report(double value) {
+  std::printf("rate=%g\n", value);
+  std::printf("rate=%.6g\n", value);
+  std::printf("rate=%.17f\n", value);
+  std::printf("100%% g\n");
+  // nomc-lint: allow(det-g-format)
+  std::printf("rate=%G\n", value);
+}

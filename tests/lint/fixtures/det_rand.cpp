@@ -1,0 +1,14 @@
+// Fixture for lint_tests: det-rand and det-time-seed violations. This file
+// is test data — it is never compiled or linted as part of the repo walk.
+#include <cstdlib>
+#include <random>
+
+int fixture_noise() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  int noise = std::rand();
+  std::random_device entropy;
+  std::mt19937 gen{entropy()};
+  // nomc-lint: allow(det-rand)
+  int allowed = std::rand();
+  return noise + allowed + static_cast<int>(gen());
+}

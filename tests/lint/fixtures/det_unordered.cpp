@@ -1,0 +1,27 @@
+// Fixture for lint_tests: det-unordered-output. Only the loops whose body
+// reaches an output sink may fire; ordered containers never do.
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+void fixture_dump(const std::unordered_map<int, double>& table,
+                  const std::map<int, double>& sorted) {
+  for (const auto& [key, value] : table) {
+    std::printf("%d\n", key);
+    (void)value;
+  }
+  double sum = 0.0;
+  for (const auto& [key, value] : table) {
+    sum += value;
+    (void)key;
+  }
+  for (const auto& [key, value] : sorted) {
+    std::printf("%d %f\n", key, value);
+  }
+  // nomc-lint: allow(det-unordered-output)
+  for (const auto& [key, value] : table) {
+    std::printf("%f\n", value);
+    (void)key;
+  }
+  (void)sum;
+}

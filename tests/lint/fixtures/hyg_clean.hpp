@@ -1,0 +1,5 @@
+// Fixture for lint_tests: a fully compliant header — every rule stays quiet.
+#pragma once
+
+// TODO(#7): extend alongside the rule catalog.
+inline int fixture_ok() { return 7; }

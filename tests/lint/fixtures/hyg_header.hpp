@@ -1,0 +1,8 @@
+// Fixture for lint_tests: header hygiene violations — no #pragma once,
+// a namespace-std using-directive, and an untagged TODO.
+#include <string>
+
+using namespace std;
+
+// TODO: give this fixture an include guard
+inline string fixture_name() { return "hyg"; }

@@ -1,0 +1,21 @@
+// Fixture for lint_tests: unit-naked-cca. A threshold literal fires only
+// near cca/threshold context; the same number elsewhere is just a number.
+struct Radio {
+  double cca_threshold;
+};
+
+void fixture_configure(Radio& radio) {
+  radio.cca_threshold = -77.0;
+  double floor_level = -91.0;
+  (void)floor_level;
+}
+
+double fixture_plain_number() {
+  return -77.0;
+}
+
+double fixture_waved() {
+  // nomc-lint: allow(unit-naked-cca)
+  double quiet_threshold = -77.0;
+  return quiet_threshold;
+}

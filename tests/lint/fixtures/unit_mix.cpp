@@ -1,0 +1,12 @@
+// Fixture for lint_tests: unit-dbm-mw-mix. Same-scale arithmetic and
+// expressions routed through a to_milliwatts/to_dbm conversion stay clean.
+double to_milliwatts(double level_dbm);
+
+double fixture_combine(double rssi_dbm, double noise_mw, double leak_mw) {
+  double broken = rssi_dbm + noise_mw;
+  double fine_linear = noise_mw + leak_mw;
+  double converted = to_milliwatts(rssi_dbm) + noise_mw;
+  // nomc-lint: allow(unit-dbm-mw-mix)
+  double waved = noise_mw - rssi_dbm;
+  return broken + fine_linear + converted + waved;
+}

@@ -1,0 +1,356 @@
+// nomc-lint test suite: tokenizer unit tests, fixture-driven rule tests
+// (each rule firing AND being suppressed), suppression/baseline mechanics,
+// and the diagnostic format contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/driver.hpp"
+#include "lint/rules.hpp"
+#include "lint/source.hpp"
+
+namespace nomc::lint {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string{NOMC_LINT_FIXTURE_DIR} + "/" + name;
+}
+
+std::vector<Finding> lint_fixture(const std::string& name) {
+  SourceFile file;
+  std::string error;
+  EXPECT_TRUE(scan_file(fixture_path(name), file, error)) << error;
+  return lint_cpp_source(file);
+}
+
+/// The (rule, line) pairs of findings, filtered by suppression state.
+std::vector<std::pair<std::string, int>> fired(const std::vector<Finding>& findings,
+                                               bool suppressed) {
+  std::vector<std::pair<std::string, int>> out;
+  for (const Finding& finding : findings) {
+    if (finding.suppressed == suppressed) {
+      out.emplace_back(finding.diagnostic.rule_id, finding.diagnostic.line);
+    }
+  }
+  return out;
+}
+
+// ---- Tokenizer -----------------------------------------------------------
+
+TEST(LintSource, TokenizesWithPositions) {
+  const SourceFile file = scan_source("t.cpp", "int a = 42;\n  foo(a);\n");
+  ASSERT_GE(file.tokens.size(), 8u);
+  EXPECT_EQ(file.tokens[0].text, "int");
+  EXPECT_EQ(file.tokens[0].line, 1);
+  EXPECT_EQ(file.tokens[0].col, 1);
+  EXPECT_EQ(file.tokens[3].text, "42");
+  EXPECT_EQ(file.tokens[3].kind, Token::Kind::kNumber);
+  EXPECT_EQ(file.tokens[5].text, "foo");
+  EXPECT_EQ(file.tokens[5].line, 2);
+  EXPECT_EQ(file.tokens[5].col, 3);
+}
+
+TEST(LintSource, CommentsAreCapturedNotTokenized) {
+  const SourceFile file = scan_source("t.cpp", "// line note\nint x; /* block\nspan */ int y;\n");
+  ASSERT_EQ(file.comments.size(), 2u);
+  EXPECT_EQ(file.comments[0].text, " line note");
+  EXPECT_EQ(file.comments[0].line, 1);
+  EXPECT_EQ(file.comments[1].line, 2);
+  EXPECT_EQ(file.comments[1].end_line, 3);
+  for (const Token& token : file.tokens) {
+    EXPECT_NE(token.text, "note");
+    EXPECT_NE(token.text, "span");
+  }
+}
+
+TEST(LintSource, StringContentsStayOutOfIdentifiers) {
+  const SourceFile file = scan_source("t.cpp", "call(\"rand() inside\");\n");
+  int identifiers = 0;
+  for (const Token& token : file.tokens) {
+    if (token.kind == Token::Kind::kIdentifier) {
+      ++identifiers;
+      EXPECT_EQ(token.text, "call");
+    }
+  }
+  EXPECT_EQ(identifiers, 1);
+}
+
+TEST(LintSource, RawStringsAndEscapes) {
+  const SourceFile file = scan_source(
+      "t.cpp", "auto a = R\"(no \" stop)\"; auto b = \"esc \\\" quote\";\n");
+  int strings = 0;
+  for (const Token& token : file.tokens) {
+    if (token.kind == Token::Kind::kString) ++strings;
+  }
+  EXPECT_EQ(strings, 2);
+}
+
+TEST(LintSource, ArrowIsNotAMinus) {
+  const SourceFile file = scan_source("t.cpp", "p->value;\n");
+  for (const Token& token : file.tokens) {
+    EXPECT_NE(token.text, "-");
+  }
+}
+
+// ---- Determinism rules ---------------------------------------------------
+
+TEST(LintRules, DetRandFiresAndSuppresses) {
+  const std::vector<Finding> findings = lint_fixture("det_rand.cpp");
+  const auto active = fired(findings, /*suppressed=*/false);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"det-rand", 7},  // srand
+      {"det-time-seed", 7},
+      {"det-rand", 8},   // rand
+      {"det-rand", 9},   // random_device
+      {"det-rand", 10},  // mt19937
+  };
+  auto sorted_active = active;
+  auto sorted_expected = expected;
+  std::sort(sorted_active.begin(), sorted_active.end());
+  std::sort(sorted_expected.begin(), sorted_expected.end());
+  EXPECT_EQ(sorted_active, sorted_expected);
+  const auto muted = fired(findings, /*suppressed=*/true);
+  ASSERT_EQ(muted.size(), 1u);
+  EXPECT_EQ(muted[0], (std::pair<std::string, int>{"det-rand", 12}));
+}
+
+TEST(LintRules, DetRandExemptInSimRandom) {
+  const SourceFile file =
+      scan_source("src/sim/random.cpp", "int x = rand();\nauto r = std::random_device{};\n");
+  std::vector<Diagnostic> diagnostics;
+  run_cpp_rules(file, diagnostics);
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(LintRules, DetUnorderedOutput) {
+  const std::vector<Finding> findings = lint_fixture("det_unordered.cpp");
+  const auto active = fired(findings, false);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], (std::pair<std::string, int>{"det-unordered-output", 9}));
+  const auto muted = fired(findings, true);
+  ASSERT_EQ(muted.size(), 1u);
+  EXPECT_EQ(muted[0], (std::pair<std::string, int>{"det-unordered-output", 22}));
+}
+
+TEST(LintRules, DetGFormat) {
+  const std::vector<Finding> findings = lint_fixture("det_format.cpp");
+  const auto active = fired(findings, false);
+  const std::vector<std::pair<std::string, int>> expected = {{"det-g-format", 6},
+                                                            {"det-g-format", 7}};
+  EXPECT_EQ(active, expected);
+  const auto muted = fired(findings, true);
+  ASSERT_EQ(muted.size(), 1u);
+  EXPECT_EQ(muted[0].second, 11);
+}
+
+TEST(LintRules, DetGFormatPinnedStoreExemption) {
+  const std::string pinned = std::string{"\"%.17"} + "g\"";
+  const SourceFile store = scan_source("src/exp/result_store.cpp",
+                                       "snprintf(b, n, " + pinned + ", v);\n");
+  std::vector<Diagnostic> diagnostics;
+  run_cpp_rules(store, diagnostics);
+  EXPECT_TRUE(diagnostics.empty());
+  // The same spelling anywhere else still fires.
+  const SourceFile other =
+      scan_source("src/stats/table.cpp", "snprintf(b, n, " + pinned + ", v);\n");
+  diagnostics.clear();
+  run_cpp_rules(other, diagnostics);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule_id, "det-g-format");
+}
+
+// ---- Unit rules ----------------------------------------------------------
+
+TEST(LintRules, UnitDbmMwMix) {
+  const std::vector<Finding> findings = lint_fixture("unit_mix.cpp");
+  const auto active = fired(findings, false);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], (std::pair<std::string, int>{"unit-dbm-mw-mix", 6}));
+  const auto muted = fired(findings, true);
+  ASSERT_EQ(muted.size(), 1u);
+  EXPECT_EQ(muted[0], (std::pair<std::string, int>{"unit-dbm-mw-mix", 10}));
+}
+
+TEST(LintRules, UnitNakedCca) {
+  const std::vector<Finding> findings = lint_fixture("unit_cca.cpp");
+  const auto active = fired(findings, false);
+  const std::vector<std::pair<std::string, int>> expected = {{"unit-naked-cca", 8},
+                                                            {"unit-naked-cca", 9}};
+  EXPECT_EQ(active, expected);
+  const auto muted = fired(findings, true);
+  ASSERT_EQ(muted.size(), 1u);
+  EXPECT_EQ(muted[0].second, 19);
+}
+
+TEST(LintRules, UnitNakedCcaExemptInConfigHeaders) {
+  for (const char* path : {"src/dcn/config.hpp", "src/mac/cca.hpp"}) {
+    const SourceFile file = scan_source(path, "#pragma once\nphy::Dbm threshold{-77.0};\n");
+    std::vector<Diagnostic> diagnostics;
+    run_cpp_rules(file, diagnostics);
+    EXPECT_TRUE(diagnostics.empty()) << path;
+  }
+}
+
+// ---- Hygiene rules -------------------------------------------------------
+
+TEST(LintRules, HeaderHygieneFires) {
+  const std::vector<Finding> findings = lint_fixture("hyg_header.hpp");
+  const auto active = fired(findings, false);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"hyg-pragma-once", 1}, {"hyg-using-namespace-std", 5}, {"hyg-todo-issue", 7}};
+  auto sorted_active = active;
+  std::sort(sorted_active.begin(), sorted_active.end());
+  auto sorted_expected = expected;
+  std::sort(sorted_expected.begin(), sorted_expected.end());
+  EXPECT_EQ(sorted_active, sorted_expected);
+}
+
+TEST(LintRules, CleanHeaderStaysClean) {
+  const std::vector<Finding> findings = lint_fixture("hyg_clean.hpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, UsingNamespaceStdAllowedInSourceFiles) {
+  const SourceFile file = scan_source("tools/x.cpp", "using namespace std;\n");
+  std::vector<Diagnostic> diagnostics;
+  run_cpp_rules(file, diagnostics);
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+// ---- Suppressions --------------------------------------------------------
+
+TEST(LintDriver, AllowFileCoversWholeFile) {
+  const std::vector<Finding> findings = lint_fixture("allow_file.cpp");
+  EXPECT_FALSE(findings.empty());
+  for (const Finding& finding : findings) {
+    EXPECT_TRUE(finding.suppressed) << format_diagnostic(finding);
+  }
+}
+
+TEST(LintDriver, SameLineSuppression) {
+  const std::string src = "void f() { g(\"x=%" + std::string{"g"} +
+                          "\", 1.0); }  // nomc-lint: allow(det-g-format)\n";
+  const std::vector<Finding> findings = lint_cpp_source(scan_source("a.cpp", src));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+TEST(LintDriver, SuppressionDoesNotLeakToLaterLines) {
+  const std::string g = "g";
+  const std::string src = "// nomc-lint: allow(det-g-format)\nf(\"%" + g +
+                          "\", x);\nf(\"%" + g + "\", y);\n";
+  const std::vector<Finding> findings = lint_cpp_source(scan_source("a.cpp", src));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(findings[0].suppressed);   // line 2: covered
+  EXPECT_FALSE(findings[1].suppressed);  // line 3: not covered
+}
+
+// ---- Diagnostics and baseline --------------------------------------------
+
+TEST(LintDriver, DiagnosticFormatIsClangStyle) {
+  const std::vector<Finding> findings =
+      lint_cpp_source(scan_source("src/x.cpp", "int v = rand();\n"));
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string text = format_diagnostic(findings[0]);
+  EXPECT_EQ(text.find("src/x.cpp:1:9: warning: "), 0u) << text;
+  EXPECT_NE(text.find("[det-rand]"), std::string::npos) << text;
+}
+
+TEST(LintDriver, BaselineMatchesOnContentNotLineNumber) {
+  const std::vector<Finding> original =
+      lint_cpp_source(scan_source("src/x.cpp", "int v = rand();\n"));
+  const std::string serialized = Baseline::serialize(original);
+  EXPECT_NE(serialized.find("src/x.cpp|det-rand|int v = rand();"), std::string::npos);
+
+  // Same content drifted two lines down: still baselined.
+  std::vector<Finding> drifted =
+      lint_cpp_source(scan_source("src/x.cpp", "// pad\n// pad\nint v = rand();\n"));
+  Baseline baseline;
+  const std::string path = std::string{NOMC_LINT_FIXTURE_DIR} + "/tmp_baseline.txt";
+  {
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(serialized.data(), 1, serialized.size(), out);
+    std::fclose(out);
+  }
+  std::string error;
+  ASSERT_TRUE(baseline.load(path, error)) << error;
+  std::remove(path.c_str());
+  baseline.apply(drifted);
+  ASSERT_EQ(drifted.size(), 1u);
+  EXPECT_TRUE(drifted[0].baselined);
+
+  // A second identical finding is NOT absorbed by the single entry.
+  std::vector<Finding> doubled = lint_cpp_source(
+      scan_source("src/x.cpp", "int v = rand();\nint w = rand();\n"));
+  Baseline again;
+  {
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(serialized.data(), 1, serialized.size(), out);
+    std::fclose(out);
+  }
+  ASSERT_TRUE(again.load(path, error)) << error;
+  std::remove(path.c_str());
+  again.apply(doubled);
+  int baselined = 0;
+  int fresh = 0;
+  for (const Finding& finding : doubled) {
+    (finding.baselined ? baselined : fresh) += 1;
+  }
+  EXPECT_EQ(baselined, 1);
+  EXPECT_EQ(fresh, 1);
+}
+
+TEST(LintDriver, MissingBaselineIsEmpty) {
+  Baseline baseline;
+  std::string error;
+  EXPECT_TRUE(baseline.load("definitely/does/not/exist.baseline", error));
+  EXPECT_EQ(baseline.size(), 0u);
+}
+
+// ---- Campaign spec rules -------------------------------------------------
+
+TEST(LintRules, GoldenRegenNote) {
+  std::vector<Diagnostic> diagnostics;
+  run_campaign_rules("tests/golden/x_small.campaign",
+                     "# shrink of fig-something\nname = x_small\n", diagnostics);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule_id, "golden-regen-note");
+
+  diagnostics.clear();
+  run_campaign_rules("tests/golden/x_small.campaign",
+                     "# regenerate with\n# `nomc-campaign run tests/golden/x_small.campaign "
+                     "--overwrite`\nname = x_small\n",
+                     diagnostics);
+  EXPECT_TRUE(diagnostics.empty());
+
+  // Non-golden campaign specs are out of scope.
+  diagnostics.clear();
+  run_campaign_rules("examples/campaigns/fig01.campaign", "name = fig01\n", diagnostics);
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(LintRules, GoldenRegenNoteMustBeInHeaderComment) {
+  // The command below the first statement does not count: the ctest guard
+  // only reads the leading comment block.
+  std::vector<Diagnostic> diagnostics;
+  run_campaign_rules("tests/golden/x_small.campaign",
+                     "# shrink\nname = x_small\n# nomc-campaign run x --overwrite\n",
+                     diagnostics);
+  ASSERT_EQ(diagnostics.size(), 1u);
+}
+
+// ---- Catalog -------------------------------------------------------------
+
+TEST(LintRules, CatalogKnowsEveryEmittedRule) {
+  EXPECT_TRUE(known_rule("det-rand"));
+  EXPECT_TRUE(known_rule("golden-regen-note"));
+  EXPECT_FALSE(known_rule("not-a-rule"));
+  EXPECT_GE(rule_catalog().size(), 10u);
+}
+
+}  // namespace
+}  // namespace nomc::lint

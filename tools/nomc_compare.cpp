@@ -4,7 +4,7 @@
 // deployments (paired seeds) and reports overall throughput as mean ± 95 %
 // CI plus the paired relative gain. Example — the paper's headline:
 //
-//   nomc-compare --a-cfd 5 --a-channels 4 --a-scheme fixed --a-links 3 \
+//   nomc-compare --a-cfd 5 --a-channels 4 --a-scheme fixed --a-links 3
 //                --b-cfd 3 --b-channels 6 --b-scheme dcn --trials 10
 #include <cstdio>
 #include <string>

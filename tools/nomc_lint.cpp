@@ -1,0 +1,162 @@
+// nomc-lint — repo-specific determinism, unit-safety, and hygiene linter.
+//
+// Walks C++ sources (and tests/golden campaign specs) and enforces the
+// invariants the test suite cannot see from the outside: no stray RNG, no
+// hash-order output, no log/linear power mixing, no naked CCA literals.
+// Diagnostics are clang-style (`file:line:col: warning: ... [rule-id]`);
+// findings are suppressible inline (`// nomc-lint: allow(rule-id)`) or via
+// the checked-in baseline. Exit status: 0 clean, 1 new findings, 2 usage or
+// I/O error — so CI can require it. See docs/static_analysis.md.
+//
+//   nomc-lint                      lint src/ tools/ bench/ tests/golden/
+//   nomc-lint src/phy              lint one tree
+//   nomc-lint --list-rules         print the rule catalog
+//   nomc-lint --write-baseline     re-admit all current findings
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint/driver.hpp"
+
+namespace {
+
+using namespace nomc;
+
+constexpr const char* kDefaultBaseline = "tools/nomc_lint.baseline";
+
+int usage(std::FILE* out) {
+  std::fputs(
+      "usage: nomc-lint [options] [path...]\n"
+      "\n"
+      "Lints C++ sources (.cpp/.cc/.hpp/.h/.hh) and golden campaign specs for\n"
+      "repo-specific determinism, unit-safety, and hygiene invariants.\n"
+      "Default paths: src tools bench tests/golden (run from the repo root).\n"
+      "\n"
+      "options:\n"
+      "  --baseline <file>   baseline of grandfathered findings\n"
+      "                      (default: tools/nomc_lint.baseline)\n"
+      "  --no-baseline       ignore the baseline; report everything\n"
+      "  --write-baseline    rewrite the baseline from current findings\n"
+      "  --list-rules        print the rule catalog and exit\n"
+      "  --verbose           also print suppressed and baselined findings\n"
+      "  --help              this text\n",
+      out);
+  return out == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path = kDefaultBaseline;
+  bool use_baseline = true;
+  bool write_baseline = false;
+  bool verbose = false;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") return usage(stdout);
+    if (arg == "--list-rules") {
+      for (const lint::RuleInfo& rule : lint::rule_catalog()) {
+        std::printf("%-24s %s\n", rule.id, rule.summary);
+      }
+      return 0;
+    }
+    if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "nomc-lint: --baseline needs a path\n");
+        return 2;
+      }
+      baseline_path = argv[++i];
+      continue;
+    }
+    if (arg == "--no-baseline") {
+      use_baseline = false;
+      continue;
+    }
+    if (arg == "--write-baseline") {
+      write_baseline = true;
+      continue;
+    }
+    if (arg == "--verbose") {
+      verbose = true;
+      continue;
+    }
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "nomc-lint: unknown option '%s'\n", arg.c_str());
+      return usage(stderr);
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) roots = {"src", "tools", "bench", "tests/golden"};
+
+  std::vector<std::string> files;
+  std::string error;
+  for (const std::string& root : roots) {
+    if (!lint::collect_files(root, files, error)) {
+      std::fprintf(stderr, "nomc-lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<lint::Finding> findings;
+  for (const std::string& file : files) {
+    if (!lint::lint_path(file, findings, error)) {
+      std::fprintf(stderr, "nomc-lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  if (write_baseline) {
+    const std::string serialized = lint::Baseline::serialize(findings);
+    std::FILE* out = std::fopen(baseline_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "nomc-lint: cannot write %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::fwrite(serialized.data(), 1, serialized.size(), out);
+    std::fclose(out);
+    std::size_t entries = 0;
+    for (const lint::Finding& finding : findings) {
+      if (!finding.suppressed) ++entries;
+    }
+    std::printf("nomc-lint: wrote %zu baseline entr%s to %s\n", entries,
+                entries == 1 ? "y" : "ies", baseline_path.c_str());
+    return 0;
+  }
+
+  lint::Baseline baseline;
+  if (use_baseline && !baseline.load(baseline_path, error)) {
+    std::fprintf(stderr, "nomc-lint: %s\n", error.c_str());
+    return 2;
+  }
+  baseline.apply(findings);
+
+  std::size_t fresh = 0;
+  std::size_t suppressed = 0;
+  std::size_t baselined = 0;
+  for (const lint::Finding& finding : findings) {
+    if (finding.suppressed) {
+      ++suppressed;
+      if (verbose) {
+        std::printf("%s (suppressed)\n", lint::format_diagnostic(finding).c_str());
+      }
+      continue;
+    }
+    if (finding.baselined) {
+      ++baselined;
+      if (verbose) {
+        std::printf("%s (baselined)\n", lint::format_diagnostic(finding).c_str());
+      }
+      continue;
+    }
+    ++fresh;
+    std::printf("%s\n", lint::format_diagnostic(finding).c_str());
+  }
+
+  std::printf("nomc-lint: %zu file%s, %zu new finding%s (%zu suppressed, %zu baselined)\n",
+              files.size(), files.size() == 1 ? "" : "s", fresh, fresh == 1 ? "" : "s",
+              suppressed, baselined);
+  return fresh == 0 ? 0 : 1;
+}

@@ -24,6 +24,7 @@
 #include "cli/args.hpp"
 #include "cli/options.hpp"
 #include "exp/campaign.hpp"
+#include "mac/cca.hpp"
 #include "net/scenario.hpp"
 #include "sim/parallel.hpp"
 #include "sim/trace.hpp"
@@ -107,7 +108,8 @@ int main(int argc, char** argv) {
   args.add_int("links", 2, "sender->receiver links per network");
   args.add_double("power", 0.0,
                   "fixed TX power (dBm) for all nodes; omit for random [-22, 0]");
-  args.add_double("cca", -77.0, "fixed-scheme CCA threshold (dBm)");
+  args.add_double("cca", mac::kZigbeeDefaultCcaThreshold.value,
+                  "fixed-scheme CCA threshold (dBm)");
   args.add_int("psdu", 100, "data frame PSDU size (bytes)");
   args.add_double("warmup", 2.0, "warm-up before measurement (s)");
   args.add_double("measure", 8.0, "measurement window (s)");
