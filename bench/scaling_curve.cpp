@@ -1,0 +1,197 @@
+// scaling_curve — city-scale throughput of the simulation substrate.
+//
+// Drives Medium + Scheduler directly (no radios, no MAC) with a synthetic
+// city: N nodes on a 50 m grid, urban path loss (n = 3.5), six channels,
+// every node running a CCA-gated periodic sender. Each attempt is one
+// scheduler event plus one sense_energy read — the exact pair that
+// dominates every figure bench — so events/second here is the substrate's
+// end-to-end speed limit.
+//
+// Two modes per node count:
+//   * culled   — spatial interference culling on (the default config), and
+//   * dense    — culling disabled: every CCA read walks every active frame,
+//                the pre-culling O(N^2) behaviour, run only at the smaller
+//                sizes where it finishes in reasonable time.
+//
+// Output: BENCH_scaling.json (see docs/scaling.md for how to read it):
+//   {
+//     "tool": "scaling_curve",
+//     "points": [{"nodes": N, "mode": "culled"|"dense", "events": E,
+//                 "wall_ms": W, "events_per_second": R}, ...],
+//     "speedup_at_2000": <culled rate / dense rate at 2000 nodes>
+//   }
+//
+// Usage:
+//   scaling_curve [--out BENCH_scaling.json] [--smoke]
+// --smoke shrinks sizes and the measured window for the tier-1 smoke test.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mac/cca.hpp"
+#include "phy/medium.hpp"
+#include "phy/path_loss.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace nomc;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kSpacingM = 50.0;
+constexpr int kChannelCount = 6;
+
+struct Point {
+  int nodes = 0;
+  bool culled = true;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  [[nodiscard]] double events_per_second() const {
+    return wall_ms <= 0.0 ? 0.0 : static_cast<double>(events) * 1e3 / wall_ms;
+  }
+};
+
+/// One synthetic city: every node periodically senses its channel and, when
+/// clear, puts a 4 ms frame on the air. Attempt cadence is jittered per node
+/// (hash-seeded, deterministic) so transmissions spread over time.
+class City {
+ public:
+  City(int nodes, bool culled) {
+    phy::MediumConfig config;
+    // Urban propagation: steeper falloff than the paper's indoor testbed, so
+    // a 0 dBm sender's influence radius is a few hundred metres and the
+    // deployment spans many culling cells.
+    config.path_loss = phy::LogDistancePathLoss{3.5, phy::Db{40.0}, 1.0};
+    config.culling.enabled = culled;
+    medium_ = std::make_unique<phy::Medium>(config);
+
+    const int side = 1;
+    int s = side;
+    while (s * s < nodes) ++s;
+    sim::SplitMix64 mix{static_cast<std::uint64_t>(nodes) * 2 + (culled ? 1 : 0)};
+    for (int i = 0; i < nodes; ++i) {
+      const double x = static_cast<double>(i % s) * kSpacingM;
+      const double y = static_cast<double>(i / s) * kSpacingM;
+      medium_->add_node({x, y});
+      channels_.push_back(phy::Mhz{2445.0 + 3.0 * static_cast<double>(i % kChannelCount)});
+      // First attempt spread across one period; cadence jittered +/- 25%.
+      period_ns_.push_back(20'000'000 + static_cast<std::int64_t>(mix.next() % 10'000'000));
+      const auto phase = static_cast<std::int64_t>(mix.next() % 20'000'000);
+      const auto node = static_cast<phy::NodeId>(i);
+      scheduler_.schedule_at(sim::SimTime::nanoseconds(phase), [this, node] { attempt(node); });
+    }
+  }
+
+  /// Runs [0, warmup) untimed, then measures [warmup, warmup + window).
+  Point run(sim::SimTime warmup, sim::SimTime window) {
+    scheduler_.run_until(warmup);
+    const std::uint64_t executed_before = scheduler_.executed();
+    const auto start = Clock::now();
+    scheduler_.run_until(warmup + window);
+    Point point;
+    point.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    point.events = scheduler_.executed() - executed_before;
+    point.culled = medium_->culling_enabled();
+    point.nodes = static_cast<int>(medium_->node_count());
+    return point;
+  }
+
+ private:
+  void attempt(phy::NodeId node) {
+    const phy::Mhz channel = channels_[node];
+    if (medium_->sense_energy(node, channel).value < mac::kZigbeeDefaultCcaThreshold.value) {
+      phy::Frame frame;
+      frame.id = medium_->allocate_frame_id();
+      frame.src = node;
+      frame.channel = channel;
+      frame.tx_power = phy::Dbm{0.0};
+      frame.psdu_bytes = 100;
+      medium_->begin_tx(frame);
+      const phy::FrameId id = frame.id;
+      scheduler_.schedule_in(sim::SimTime::milliseconds(4),
+                             [this, id] { medium_->end_tx(id); });
+    }
+    scheduler_.schedule_in(sim::SimTime::nanoseconds(period_ns_[node]),
+                           [this, node] { attempt(node); });
+  }
+
+  sim::Scheduler scheduler_;
+  std::unique_ptr<phy::Medium> medium_;
+  std::vector<phy::Mhz> channels_;
+  std::vector<std::int64_t> period_ns_;
+};
+
+void write_json(const std::string& path, const std::vector<Point>& points, double speedup) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "scaling_curve: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"tool\": \"scaling_curve\",\n  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(out,
+                 "    {\"nodes\": %d, \"mode\": \"%s\", \"events\": %llu, "
+                 "\"wall_ms\": %.3f, \"events_per_second\": %.1f}%s\n",
+                 p.nodes, p.culled ? "culled" : "dense",
+                 static_cast<unsigned long long>(p.events), p.wall_ms, p.events_per_second(),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"speedup_at_2000\": %.2f\n}\n", speedup);
+  std::fclose(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_scaling.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: scaling_curve [--out FILE] [--smoke]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<int> culled_sizes = smoke ? std::vector<int>{100, 300}
+                                              : std::vector<int>{500, 2000, 10000};
+  const std::vector<int> dense_sizes = smoke ? std::vector<int>{100, 300}
+                                             : std::vector<int>{500, 2000};
+  const sim::SimTime warmup = sim::SimTime::milliseconds(smoke ? 40 : 200);
+  const sim::SimTime window = sim::SimTime::milliseconds(smoke ? 100 : 1000);
+
+  std::vector<Point> points;
+  double rate_culled_ref = 0.0;
+  double rate_dense_ref = 0.0;
+  const int ref_nodes = smoke ? 300 : 2000;
+  for (const int nodes : culled_sizes) {
+    City city{nodes, /*culled=*/true};
+    const Point p = city.run(warmup, window);
+    if (p.nodes == ref_nodes) rate_culled_ref = p.events_per_second();
+    std::printf("culled  %6d nodes: %8llu events in %9.2f ms  (%.0f events/s)\n", p.nodes,
+                static_cast<unsigned long long>(p.events), p.wall_ms, p.events_per_second());
+    points.push_back(p);
+  }
+  for (const int nodes : dense_sizes) {
+    City city{nodes, /*culled=*/false};
+    const Point p = city.run(warmup, window);
+    if (p.nodes == ref_nodes) rate_dense_ref = p.events_per_second();
+    std::printf("dense   %6d nodes: %8llu events in %9.2f ms  (%.0f events/s)\n", p.nodes,
+                static_cast<unsigned long long>(p.events), p.wall_ms, p.events_per_second());
+    points.push_back(p);
+  }
+
+  const double speedup = rate_dense_ref > 0.0 ? rate_culled_ref / rate_dense_ref : 0.0;
+  std::printf("speedup at %d nodes: %.2fx\n", ref_nodes, speedup);
+  write_json(out_path, points, speedup);
+  return 0;
+}

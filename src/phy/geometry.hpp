@@ -18,4 +18,12 @@ struct Vec2 {
   return std::hypot(a.x - b.x, a.y - b.y);
 }
 
+/// Squared distance: the spatial culling hot path compares against a squared
+/// radius to avoid the sqrt (and hypot's overflow guards) per candidate.
+[[nodiscard]] inline double distance_sq(Vec2 a, Vec2 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
 }  // namespace nomc::phy

@@ -3,23 +3,27 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <limits>
 
 namespace nomc::phy {
 
-namespace {
-constexpr double kUncomputed = std::numeric_limits<double>::quiet_NaN();
-}  // namespace
-
 Medium::Medium(MediumConfig config)
-    : config_{std::move(config)},
-      shadowing_{config_.shadowing_sigma_db, config_.seed} {}
+    : config_{std::move(config)}, shadowing_{config_.shadowing_sigma_db, config_.seed} {
+  if (config_.culling.enabled) {
+    double cell = config_.culling.cell_size_m;
+    if (cell <= 0.0) cell = influence_radius_m(Dbm{0.0});
+    grid_.reset(cell);
+  }
+}
+
+double Medium::influence_radius_m(Dbm tx_power) const {
+  const double shadow_cap = config_.culling.shadow_cap_sigma * config_.shadowing_sigma_db;
+  return config_.path_loss.distance_for_loss(Db{tx_power.value + shadow_cap - cull_floor_dbm()});
+}
 
 NodeId Medium::add_node(Vec2 position) {
   positions_.push_back(position);
-  // The cache is row-major over node_count, so growing the node set shifts
-  // every row; rebuild lazily from scratch (nodes are added at setup time).
-  loss_cache_.assign(positions_.size() * positions_.size(), kUncomputed);
+  epochs_.push_back(0);
+  loss_cache_.emplace_back();
   return static_cast<NodeId>(positions_.size() - 1);
 }
 
@@ -31,28 +35,57 @@ Vec2 Medium::position(NodeId node) const {
 void Medium::set_position(NodeId node, Vec2 position) {
   assert(node < positions_.size());
   positions_[node] = position;
-  // Invalidate every pair involving the moved node (its row and column).
-  const std::size_t n = positions_.size();
-  for (std::size_t other = 0; other < n; ++other) {
-    loss_cache_[node * n + other] = kUncomputed;
-    loss_cache_[other * n + node] = kUncomputed;
+  // O(1) invalidation of every cached pair involving the moved node: other
+  // nodes' entries snapshot this node's epoch and now fail the check; the
+  // node's own map is dropped outright (capacity retained).
+  ++epochs_[node];
+  loss_cache_[node].clear();
+  // Re-bucket the mover's in-flight frames so the spatial index keeps
+  // answering from current positions.
+  for (std::size_t i = 0; i < frame_slots_.size(); ++i) {
+    ActiveFrame& af = frame_slots_[i];
+    if (!af.live || af.frame.src != node) continue;
+    if (config_.culling.enabled) {
+      grid_.remove(static_cast<std::uint32_t>(i), af.src_pos);
+      grid_.insert(static_cast<std::uint32_t>(i), position);
+    }
+    af.src_pos = position;
   }
 }
 
 double Medium::cached_loss_db(NodeId a, NodeId b) const {
-  double& slot = loss_cache_[a * positions_.size() + b];
-  if (std::isnan(slot)) {
-    slot = config_.path_loss.loss(distance(positions_[a], positions_[b])).value;
+  NodeValueMap::Entry& entry = loss_cache_[a].find_or_insert(b);
+  if (entry.key != b || entry.epoch != epochs_[b]) {
+    entry.key = b;
+    entry.epoch = epochs_[b];
+    entry.value = config_.path_loss.loss(distance(positions_[a], positions_[b])).value;
   }
-  return slot;
+#ifndef NDEBUG
+  // Debug cross-check: a served cache hit must equal a fresh computation —
+  // i.e. no stale entry survives motion invalidation. (Release builds skip
+  // this; it turns every hit into a recompute.)
+  assert(entry.value == config_.path_loss.loss(distance(positions_[a], positions_[b])).value &&
+         "stale path-loss cache entry served after node motion");
+#endif
+  return entry.value;
 }
 
 double Medium::cached_shadow_db(FrameId frame, NodeId rx) const {
-  std::vector<double>& draws = shadow_cache_[frame];
-  if (draws.size() < positions_.size()) draws.resize(positions_.size(), kUncomputed);
-  double& slot = draws[rx];
-  if (std::isnan(slot)) slot = shadowing_.sample(frame, rx).value;
-  return slot;
+  auto it = shadow_cache_.find(frame);
+  if (it == shadow_cache_.end()) {
+    NodeValueMap map;
+    if (!spare_maps_.empty()) {
+      map = std::move(spare_maps_.back());
+      spare_maps_.pop_back();
+    }
+    it = shadow_cache_.emplace(frame, std::move(map)).first;
+  }
+  NodeValueMap::Entry& entry = it->second.find_or_insert(rx);
+  if (entry.key != rx) {
+    entry.key = rx;
+    entry.value = shadowing_.sample(frame, rx).value;
+  }
+  return entry.value;
 }
 
 void Medium::add_listener(MediumListener* listener) {
@@ -68,26 +101,56 @@ void Medium::remove_listener(MediumListener* listener) {
 void Medium::begin_tx(const Frame& frame) {
   assert(frame.id != 0 && "allocate the frame id through the medium");
   assert(frame.src < positions_.size());
+  assert(slot_of_.find(frame.id) == slot_of_.end() && "frame id already on the air");
   // Notify first: listeners observe the pre-change interference set.
   for (MediumListener* l : listeners_) l->on_tx_start(frame);
-  active_.push_back(frame);
+  std::uint32_t slot;
+  if (!free_frame_slots_.empty()) {
+    slot = free_frame_slots_.back();
+    free_frame_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(frame_slots_.size());
+    frame_slots_.emplace_back();
+  }
+  ActiveFrame& af = frame_slots_[slot];
+  af.frame = frame;
+  af.src_pos = positions_[frame.src];
+  af.begin_seq = next_begin_seq_++;
+  af.radius = influence_radius_m(frame.tx_power);
+  af.live = true;
+  slot_of_.emplace(frame.id, slot);
+  if (config_.culling.enabled) {
+    grid_.insert(slot, af.src_pos);
+    max_active_radius_ = std::max(max_active_radius_, af.radius);
+  }
+  ++active_count_;
 }
 
 void Medium::end_tx(FrameId id) {
-  const auto it = std::find_if(active_.begin(), active_.end(),
-                               [id](const Frame& f) { return f.id == id; });
-  assert(it != active_.end() && "end_tx for a frame that is not on the air");
-  const Frame frame = *it;
+  auto it = slot_of_.find(id);
+  assert(it != slot_of_.end() && "end_tx for a frame that is not on the air");
+  const Frame frame = frame_slots_[it->second].frame;
   for (MediumListener* l : listeners_) l->on_tx_end(frame);
-  // Re-find: a listener may have started a transmission, invalidating `it`.
-  const auto again = std::find_if(active_.begin(), active_.end(),
-                                  [id](const Frame& f) { return f.id == id; });
-  assert(again != active_.end());
-  active_.erase(again);
-  // Dropping the memoized draws is purely a size bound: a late query about
+  // Re-find: a listener may have started a transmission, rehashing slot_of_.
+  it = slot_of_.find(id);
+  assert(it != slot_of_.end());
+  const std::uint32_t slot = it->second;
+  ActiveFrame& af = frame_slots_[slot];
+  if (config_.culling.enabled) grid_.remove(slot, af.src_pos);
+  af.live = false;
+  free_frame_slots_.push_back(slot);
+  slot_of_.erase(it);
+  --active_count_;
+  if (active_count_ == 0) max_active_radius_ = 0.0;
+  // Recycle the memoized draws — purely a size bound: a late query about
   // this frame (e.g. the receiver finalizing the reception) recomputes the
   // identical values from the (seed, frame, node) hash.
-  shadow_cache_.erase(id);
+  const auto shadow = shadow_cache_.find(id);
+  if (shadow != shadow_cache_.end()) {
+    shadow->second.clear();
+    spare_maps_.push_back(std::move(shadow->second));
+    shadow_cache_.erase(shadow);
+  }
 }
 
 Dbm Medium::rss(const Frame& frame, NodeId rx) const {
@@ -109,10 +172,35 @@ Db Medium::leak_attenuation(const Frame& f, Mhz delta, const ChannelRejection& r
   return attenuation;
 }
 
+void Medium::gather(NodeId node, bool ordered, bool force_exhaustive) const {
+  scratch_.clear();
+  if (config_.culling.enabled && !force_exhaustive) {
+    const Vec2 at = positions_[node];
+    grid_.for_each_in_disc(at, max_active_radius_, [&](std::uint32_t slot) {
+      const ActiveFrame& af = frame_slots_[slot];
+      if (distance_sq(at, af.src_pos) <= af.radius * af.radius) {
+        scratch_.emplace_back(af.begin_seq, slot);
+      }
+    });
+  } else {
+    for (std::size_t i = 0; i < frame_slots_.size(); ++i) {
+      const ActiveFrame& af = frame_slots_[i];
+      if (af.live) scratch_.emplace_back(af.begin_seq, static_cast<std::uint32_t>(i));
+    }
+  }
+  // begin_seq order == begin_tx order: the dense path accumulated frames in
+  // insertion order, and float addition is order-sensitive, so replaying
+  // that exact order keeps culled and exhaustive results bit-identical
+  // whenever they see the same candidate set.
+  if (ordered) std::sort(scratch_.begin(), scratch_.end());
+}
+
 MilliWatts Medium::accumulate(NodeId node, Mhz channel, FrameId exclude,
                               const ChannelRejection& rejection) const {
+  gather(node, /*ordered=*/true);
   MilliWatts total = to_milliwatts(config_.noise_floor);
-  for (const Frame& f : active_) {
+  for (const auto& candidate : scratch_) {
+    const Frame& f = frame_slots_[candidate.second].frame;
     if (f.id == exclude) continue;
     if (f.src == node) continue;  // a node never senses its own signal
     const Mhz delta = frequency_distance(f.channel, channel);
@@ -132,7 +220,13 @@ Dbm Medium::interference(NodeId rx, Mhz channel, FrameId exclude) const {
 }
 
 bool Medium::carrier_present(NodeId node, Mhz channel, Dbm sensitivity) const {
-  for (const Frame& f : active_) {
+  // Culling guarantees frames outside the candidate set sit below the
+  // receive floor; a detector tuned below that floor could still hear them,
+  // so such a query scans exhaustively instead of trusting the grid.
+  const bool force_exhaustive = sensitivity.value < cull_floor_dbm();
+  gather(node, /*ordered=*/false, force_exhaustive);
+  for (const auto& candidate : scratch_) {
+    const Frame& f = frame_slots_[candidate.second].frame;
     if (f.src == node) continue;
     if (!same_channel(f.channel, channel)) continue;
     if (rss(f, node) >= sensitivity) return true;
@@ -141,8 +235,13 @@ bool Medium::carrier_present(NodeId node, Mhz channel, Dbm sensitivity) const {
 }
 
 Medium::Overlap Medium::overlap(NodeId rx, Mhz channel, FrameId exclude) const {
+  // A culled frame's RSS is below noise − margin, so it can neither clear
+  // the inter-channel noise-floor test nor meaningfully collide co-channel;
+  // the candidate set suffices.
   Overlap result;
-  for (const Frame& f : active_) {
+  gather(rx, /*ordered=*/false);
+  for (const auto& candidate : scratch_) {
+    const Frame& f = frame_slots_[candidate.second].frame;
     if (f.id == exclude || f.src == rx) continue;
     if (same_channel(f.channel, channel)) {
       result.co = true;

@@ -22,6 +22,12 @@ Db LogDistancePathLoss::loss(double distance_m) const {
   return Db{loss_at_reference_.value + 10.0 * exponent_ * std::log10(d / reference_m_)};
 }
 
+double LogDistancePathLoss::distance_for_loss(Db target) const {
+  if (target.value <= loss_at_reference_.value) return reference_m_;
+  return reference_m_ *
+         std::pow(10.0, (target.value - loss_at_reference_.value) / (10.0 * exponent_));
+}
+
 Db ShadowingField::sample(std::uint64_t frame_id, std::uint32_t node) const {
   if (sigma_db_ <= 0.0) return Db{0.0};
   // Hash (seed, frame, node) through splitmix64 into two uniforms, then one

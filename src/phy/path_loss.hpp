@@ -20,6 +20,12 @@ class LogDistancePathLoss {
 
   [[nodiscard]] Db loss(double distance_m) const;
 
+  /// Inverse of loss(): the distance at which the path loss reaches `target`.
+  /// Clamped to the reference distance (loss() never reports less than the
+  /// reference loss). Used to derive interference culling radii — see
+  /// docs/scaling.md.
+  [[nodiscard]] double distance_for_loss(Db target) const;
+
   [[nodiscard]] double exponent() const { return exponent_; }
 
  private:

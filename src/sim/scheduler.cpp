@@ -1,11 +1,23 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <utility>
 
 namespace nomc::sim {
 
-EventId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+namespace {
+
+constexpr std::size_t kMinBuckets = 16;
+constexpr std::size_t kMaxBuckets = std::size_t{1} << 21;
+constexpr int kMaxWidthShift = 42;  // ~73 min per day; beyond that, direct search
+
+}  // namespace
+
+Scheduler::Scheduler() : buckets_(kMinBuckets), bucket_mask_{kMinBuckets - 1} {}
+
+EventId Scheduler::schedule_at(SimTime at, EventFn fn) {
   assert(at >= now_ && "cannot schedule into the past");
   assert(fn && "event must be callable");
   std::uint32_t index;
@@ -18,8 +30,22 @@ EventId Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
   }
   Slot& slot = slots_[index];
   slot.live = true;
-  heap_.push(Entry{at, next_seq_++, index, slot.generation, std::move(fn)});
+  const std::uint64_t seq = next_seq_++;
+  // Keep the cached minimum unless the new event precedes it; most events
+  // are scheduled past the imminent one, so the next step() skips a search.
+  if (peek_valid_) {
+    const Entry& peek = buckets_[peek_bucket_][peek_index_];
+    if (at < peek.at) peek_valid_ = false;
+  }
+  const std::int64_t day = day_of(at);
+  // A search may have jumped the cursor far ahead (direct-search fallback);
+  // pull it back so the year scan cannot start past the new entry's day.
+  if (day < cursor_day_) cursor_day_ = day;
+  const std::size_t bucket = static_cast<std::size_t>(day) & bucket_mask_;
+  buckets_[bucket].push_back(Entry{at, seq, index, slot.generation, std::move(fn)});
+  ++entry_count_;
   ++live_count_;
+  maybe_resize();
   return static_cast<EventId>(index) << 32 | slot.generation;
 }
 
@@ -34,40 +60,125 @@ void Scheduler::retire(std::uint32_t index) {
 
 bool Scheduler::cancel(EventId id) {
   // A stale generation means the event has run, been cancelled, or the id
-  // was never issued; all three answer "false". The heap entry stays behind
-  // and fails the generation check when popped.
+  // was never issued; all three answer "false". The calendar entry stays
+  // behind and is dropped by the next search that visits its bucket.
   const std::uint32_t index = slot_of(id);
   if (index >= slots_.size()) return false;
   const Slot& slot = slots_[index];
   if (!slot.live || slot.generation != generation_of(id)) return false;
+  if (peek_valid_ && buckets_[peek_bucket_][peek_index_].slot == index) peek_valid_ = false;
   retire(index);
   return true;
 }
 
-bool Scheduler::step() {
-  while (!heap_.empty()) {
-    // priority_queue::top is const; the closure must be moved out, so mutate
-    // via const_cast — safe because the entry is popped immediately after.
-    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    if (!entry_live(entry)) continue;  // was cancelled
-    retire(entry.slot);
-    assert(entry.at >= now_);
-    now_ = entry.at;
-    ++executed_;
-    entry.fn();
-    return true;
+bool Scheduler::find_min() {
+  if (live_count_ == 0) {
+    // Nothing live: drop whatever dead entries remain so their closures
+    // (and captured resources) are released promptly.
+    if (entry_count_ != 0) {
+      for (std::vector<Entry>& bucket : buckets_) bucket.clear();
+      entry_count_ = 0;
+    }
+    peek_valid_ = false;
+    return false;
   }
-  return false;
+
+  const std::int64_t now_day = day_of(now_);
+  if (cursor_day_ < now_day) cursor_day_ = now_day;
+  const std::size_t bucket_count = buckets_.size();
+
+  // Calendar scan: walk one "year" of days starting at the cursor. The first
+  // day that owns a live entry holds the global minimum, because any earlier
+  // entry would live in an earlier day of this same year.
+  for (std::size_t k = 0; k < bucket_count; ++k) {
+    const std::int64_t day = cursor_day_ + static_cast<std::int64_t>(k);
+    const std::size_t b = static_cast<std::size_t>(day) & bucket_mask_;
+    std::vector<Entry>& bucket = buckets_[b];
+    bool found = false;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < bucket.size();) {
+      if (!entry_live(bucket[i])) {
+        bucket[i] = std::move(bucket.back());
+        bucket.pop_back();
+        --entry_count_;
+        continue;  // re-examine the entry swapped into i
+      }
+      const Entry& e = bucket[i];
+      if (day_of(e.at) == day) {
+        if (!found || e.at < bucket[best].at ||
+            (e.at == bucket[best].at && e.seq < bucket[best].seq)) {
+          found = true;
+          best = i;
+        }
+      }
+      ++i;
+    }
+    if (found) {
+      cursor_day_ = day;
+      peek_bucket_ = b;
+      peek_index_ = best;
+      peek_valid_ = true;
+      return true;
+    }
+  }
+
+  // A full year with no due entry: the next event is more than a year away.
+  // Fall back to a direct search over everything, then jump the cursor to it.
+  bool found = false;
+  std::size_t best_bucket = 0;
+  std::size_t best_index = 0;
+  for (std::size_t b = 0; b < bucket_count; ++b) {
+    std::vector<Entry>& bucket = buckets_[b];
+    for (std::size_t i = 0; i < bucket.size();) {
+      if (!entry_live(bucket[i])) {
+        bucket[i] = std::move(bucket.back());
+        bucket.pop_back();
+        --entry_count_;
+        continue;
+      }
+      const Entry& e = bucket[i];
+      bool better = !found;
+      if (found) {
+        const Entry& cur = buckets_[best_bucket][best_index];
+        better = e.at < cur.at || (e.at == cur.at && e.seq < cur.seq);
+      }
+      if (better) {
+        found = true;
+        best_bucket = b;
+        best_index = i;
+      }
+      ++i;
+    }
+  }
+  assert(found && "live_count_ > 0 but no live entry in the calendar");
+  cursor_day_ = day_of(buckets_[best_bucket][best_index].at);
+  peek_bucket_ = best_bucket;
+  peek_index_ = best_index;
+  peek_valid_ = true;
+  return found;
+}
+
+bool Scheduler::step() {
+  if (!peek_valid_ && !find_min()) return false;
+  std::vector<Entry>& bucket = buckets_[peek_bucket_];
+  Entry entry = std::move(bucket[peek_index_]);
+  bucket[peek_index_] = std::move(bucket.back());
+  bucket.pop_back();
+  --entry_count_;
+  peek_valid_ = false;
+  retire(entry.slot);
+  maybe_resize();
+  assert(entry.at >= now_);
+  now_ = entry.at;
+  ++executed_;
+  entry.fn();
+  return true;
 }
 
 void Scheduler::run_until(SimTime end) {
-  while (!heap_.empty()) {
-    if (!entry_live(heap_.top())) {
-      heap_.pop();  // drop cancelled entries so the horizon check sees a live one
-      continue;
-    }
-    if (heap_.top().at > end) break;
+  for (;;) {
+    if (!peek_valid_ && !find_min()) break;
+    if (buckets_[peek_bucket_][peek_index_].at > end) break;
     step();
   }
   if (now_ < end) now_ = end;
@@ -76,6 +187,59 @@ void Scheduler::run_until(SimTime end) {
 void Scheduler::run_all() {
   while (step()) {
   }
+}
+
+void Scheduler::maybe_resize() {
+  const std::size_t bucket_count = buckets_.size();
+  // Dead entries outnumbering live ones: purge via a same-size rebuild so
+  // cancel-heavy workloads (CSMA timeouts) cannot accumulate garbage.
+  if (entry_count_ > 2 * live_count_ + 64) {
+    rebuild(bucket_count);
+    return;
+  }
+  if (live_count_ > bucket_count * 2 && bucket_count < kMaxBuckets) {
+    rebuild(std::min(kMaxBuckets, std::bit_ceil(live_count_)));
+  } else if (live_count_ < bucket_count / 4 && bucket_count > kMinBuckets) {
+    rebuild(std::max(kMinBuckets, std::bit_ceil(live_count_ + 1)));
+  }
+}
+
+void Scheduler::rebuild(std::size_t bucket_count) {
+  assert(std::has_single_bit(bucket_count));
+  std::vector<Entry> live;
+  live.reserve(live_count_);
+  for (std::vector<Entry>& bucket : buckets_) {
+    for (Entry& e : bucket) {
+      if (entry_live(e)) live.push_back(std::move(e));
+    }
+    bucket.clear();
+  }
+
+  // Re-derive the day width from the live population: one day should hold a
+  // small constant number of events, so the width tracks the average gap.
+  if (live.size() >= 2) {
+    SimTime lo = live[0].at;
+    SimTime hi = live[0].at;
+    for (const Entry& e : live) {
+      lo = std::min(lo, e.at);
+      hi = std::max(hi, e.at);
+    }
+    const std::int64_t span = (hi - lo).ticks();
+    const std::int64_t per = span / static_cast<std::int64_t>(live.size());
+    const int shift =
+        per <= 0 ? 0 : static_cast<int>(std::bit_width(static_cast<std::uint64_t>(per)));
+    width_shift_ = std::min(shift, kMaxWidthShift);
+  }
+
+  buckets_.resize(bucket_count);
+  bucket_mask_ = bucket_count - 1;
+  for (Entry& e : live) {
+    const std::size_t bucket = static_cast<std::size_t>(day_of(e.at)) & bucket_mask_;
+    buckets_[bucket].push_back(std::move(e));
+  }
+  entry_count_ = live.size();
+  cursor_day_ = day_of(now_);
+  peek_valid_ = false;
 }
 
 }  // namespace nomc::sim

@@ -2,18 +2,29 @@
 //
 // Events are closures ordered by (time, insertion sequence); ties in time
 // therefore execute in scheduling order, which makes runs deterministic.
-// Cancellation is lazy: cancelled entries stay in the heap and are skipped
-// when popped. Liveness is tracked by generation-checked slots instead of a
-// hash set — an EventId packs (slot index, generation), so schedule, cancel,
-// and the popped-entry liveness check are all O(1) array probes with no
+// Cancellation is lazy: cancelled entries stay in their bucket and are
+// dropped when a search visits them. Liveness is tracked by
+// generation-checked slots — an EventId packs (slot index, generation), so
+// schedule, cancel, and the liveness check are all O(1) array probes with no
 // hashing on the hot path.
+//
+// The pending set is a calendar queue (R. Brown, CACM 1988), not a binary
+// heap: an array of time-bucketed "days" whose width and count adapt to the
+// live event population, giving O(1) amortized schedule and dequeue where a
+// heap pays O(log n) per operation — the difference between paper scale
+// (hundreds of pending events) and city scale (hundreds of thousands).
+// Events are EventFn closures with inline storage, so steady-state
+// scheduling performs no heap allocation at all; bucket vectors recycle
+// their capacity and act as the event pool. Determinism is unchanged: the
+// dequeue order is exactly (time, insertion sequence), and every structural
+// decision (bucket widths, resizes) is a pure function of the event
+// population. See docs/scaling.md for the design walk-through.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
@@ -26,7 +37,7 @@ inline constexpr EventId kInvalidEventId = 0;
 
 class Scheduler {
  public:
-  Scheduler() = default;
+  Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -34,10 +45,10 @@ class Scheduler {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `at` (must be >= now()).
-  EventId schedule_at(SimTime at, std::function<void()> fn);
+  EventId schedule_at(SimTime at, EventFn fn);
 
   /// Schedule `fn` to run `delay` after now().
-  EventId schedule_in(SimTime delay, std::function<void()> fn) {
+  EventId schedule_in(SimTime delay, EventFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
@@ -81,18 +92,12 @@ class Scheduler {
     std::uint64_t seq;  // tie-break: FIFO within equal times
     std::uint32_t slot;
     std::uint32_t generation;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    EventFn fn;
   };
   /// Liveness record for one slot. A slot is recycled (generation bumped,
   /// index pushed on the free list) as soon as its event runs or is
-  /// cancelled; a stale heap entry then fails the generation check when
-  /// popped and is skipped.
+  /// cancelled; a stale calendar entry then fails the generation check and
+  /// is dropped by the next search that visits it.
   struct Slot {
     std::uint32_t generation = 1;
     bool live = false;
@@ -111,7 +116,31 @@ class Scheduler {
   /// Mark `entry`'s slot dead and recycle it for reuse.
   void retire(std::uint32_t index);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// The calendar day (bucket-width quantum) containing `at`.
+  [[nodiscard]] std::int64_t day_of(SimTime at) const { return at.ticks() >> width_shift_; }
+
+  /// Locate the earliest live entry and cache it in peek_*; prunes dead
+  /// entries from every bucket it scans. Returns false when nothing is live
+  /// (and then the calendar is fully drained of dead entries too).
+  bool find_min();
+  /// True while peek_{bucket_,index_} points at the cached minimum.
+  bool peek_valid_ = false;
+  std::size_t peek_bucket_ = 0;
+  std::size_t peek_index_ = 0;
+
+  /// Re-bucket every live entry into `bucket_count` buckets (a power of
+  /// two), re-deriving the bucket width from the live population's time
+  /// span. Drops dead entries. O(entries + buckets), amortized across the
+  /// schedule/run traffic that triggered it.
+  void rebuild(std::size_t bucket_count);
+  void maybe_resize();
+
+  std::vector<std::vector<Entry>> buckets_;
+  int width_shift_ = 13;           ///< bucket width = 2^shift ns (8.2 us initially)
+  std::size_t bucket_mask_ = 0;    ///< buckets_.size() - 1 (size is a power of two)
+  std::size_t entry_count_ = 0;    ///< entries sitting in buckets, dead included
+  std::int64_t cursor_day_ = 0;    ///< searches resume here; monotone between rebuilds
+
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::size_t live_count_ = 0;

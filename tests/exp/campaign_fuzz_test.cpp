@@ -10,6 +10,7 @@
 // scan_store treats that as a hard error, not something to recover
 // (tests/exp/store_test.cpp locks that).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <random>
@@ -42,7 +43,7 @@ CampaignSpec fuzz_spec() {
 }
 
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + "nomc_fuzz_" + name;
+  return ::testing::TempDir() + "nomc_fuzz_" + std::to_string(::getpid()) + "_" + name;
 }
 
 std::string read_file(const std::string& path) {

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 
@@ -38,7 +40,10 @@ CampaignSpec test_spec() {
 }
 
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + "nomc_campaign_" + name;
+  // Per-process scratch: ctest runs each TEST as its own process, and two of
+  // them regenerating reference.jsonl concurrently under `ctest -j` would
+  // tear each other's bytes.
+  return ::testing::TempDir() + "nomc_campaign_" + std::to_string(::getpid()) + "_" + name;
 }
 
 std::string read_file(const std::string& path) {

@@ -1,0 +1,93 @@
+#include "sim/event_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "phy/frame.hpp"
+
+namespace nomc::sim {
+namespace {
+
+TEST(EventFn, SmallCallableStaysInline) {
+  int hits = 0;
+  EventFn fn{[&hits] { ++hits; }};
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, RadioEndOfFrameClosureStaysInline) {
+  // The hottest closure in the simulator: Radio's end-of-frame event captures
+  // a this-pointer plus a phy::Frame by value. Pin that it never regresses to
+  // a heap allocation — kInlineCapacity is sized for exactly this.
+  int sink = 0;
+  phy::Frame frame;
+  int* self = &sink;
+  EventFn fn{[self, frame] { *self = static_cast<int>(frame.psdu_bytes); }};
+  EXPECT_TRUE(fn.is_inline());
+}
+
+TEST(EventFn, OversizedCallableGoesToHeapAndStillWorks) {
+  std::array<double, 32> payload{};  // 256 bytes: beyond inline capacity
+  payload[31] = 42.0;
+  double out = 0.0;
+  EventFn fn{[payload, &out] { out = payload[31]; }};
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(out, 42.0);
+}
+
+TEST(EventFn, MoveTransfersOwnership) {
+  int hits = 0;
+  EventFn a{[&hits] { ++hits; }};
+  EventFn b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): tested on purpose
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  EventFn c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, MoveOnlyCaptureSchedulesCleanly) {
+  // std::function rejects move-only captures; EventFn must not.
+  auto payload = std::make_unique<int>(7);
+  int out = 0;
+  EventFn fn{[p = std::move(payload), &out] { out = *p; }};
+  fn();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(EventFn, DestructionReleasesCapturedResources) {
+  const auto counter = std::make_shared<int>(0);
+  {
+    EventFn inline_fn{[counter] { (void)counter; }};
+    std::array<char, 200> pad{};
+    EventFn heap_fn{[counter, pad] { (void)pad; }};
+    EXPECT_TRUE(inline_fn.is_inline());
+    EXPECT_FALSE(heap_fn.is_inline());
+    EXPECT_EQ(counter.use_count(), 3);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(EventFn, MoveAssignDestroysPreviousCallable) {
+  const auto old_payload = std::make_shared<int>(0);
+  EventFn fn{[old_payload] { (void)old_payload; }};
+  EXPECT_EQ(old_payload.use_count(), 2);
+  fn = EventFn{[] {}};
+  EXPECT_EQ(old_payload.use_count(), 1);
+  fn();  // the replacement is the live callable
+}
+
+}  // namespace
+}  // namespace nomc::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -215,6 +217,134 @@ TEST_P(SchedulerRandomSweep, TotalOrderHolds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerRandomSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- Calendar-queue specifics ---------------------------------------------
+// The pending set is a calendar queue (see scheduler.hpp); these pin the
+// structural edge cases a binary heap never had: bucket-count resizes, the
+// one-year scan limit with its direct-search fallback, cursor movement when
+// events land behind a far-future jump, and dead-entry purging.
+
+/// Property: execution order is exactly (time, insertion sequence) — not just
+/// nondecreasing time — under heavy churn that forces grow/shrink/purge
+/// rebuilds. A reference sort of the surviving events must match 1:1.
+TEST(Scheduler, RandomizedStressMatchesReferenceOrder) {
+  Scheduler s;
+  RandomStream rng{20260808, 0};
+  struct Expected {
+    SimTime at;
+    int label;
+  };
+  std::vector<Expected> expected;
+  std::vector<int> executed;
+  std::vector<EventId> ids;
+  std::vector<int> labels;
+  for (int i = 0; i < 5000; ++i) {
+    // Mixed scales: dense microsecond traffic plus sparse second-scale tails
+    // so rebuilds re-derive very different bucket widths.
+    const SimTime at = rng.uniform_int(0, 9) == 0
+                           ? SimTime::milliseconds(rng.uniform_int(0, 5'000))
+                           : SimTime::microseconds(rng.uniform_int(0, 20'000));
+    ids.push_back(s.schedule_at(at, [&executed, i] { executed.push_back(i); }));
+    labels.push_back(i);
+    expected.push_back({at, i});
+  }
+  // Cancel a third; the calendar must purge them without disturbing order.
+  std::vector<bool> cancelled(ids.size(), false);
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    ASSERT_TRUE(s.cancel(ids[i]));
+    cancelled[i] = true;
+  }
+  std::erase_if(expected, [&](const Expected& e) {
+    return cancelled[static_cast<std::size_t>(e.label)];
+  });
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Expected& a, const Expected& b) { return a.at < b.at; });
+  s.run_all();
+  ASSERT_EQ(executed.size(), expected.size());
+  for (std::size_t i = 0; i < executed.size(); ++i) {
+    ASSERT_EQ(executed[i], expected[i].label) << "divergence at event " << i;
+  }
+}
+
+TEST(Scheduler, FarFutureEventUsesDirectSearch) {
+  // A gap wider than one calendar year (bucket_count * bucket_width) forces
+  // the direct-search fallback; the event must still run, exactly once.
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::nanoseconds(1), [&order] { order.push_back(1); });
+  s.schedule_at(SimTime::seconds(3600), [&order] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), SimTime::seconds(3600));
+}
+
+TEST(Scheduler, ScheduleBehindFarFutureCursorStillRuns) {
+  // Regression: a horizon-bounded search that lands on a far-future event
+  // jumps the cursor to that event's day. An event scheduled afterwards at
+  // an EARLIER day (but still in the future) must pull the cursor back or it
+  // would be skipped by the next year scan.
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::seconds(1), [&order] { order.push_back(1); });
+  s.schedule_at(SimTime::seconds(7200), [&order] { order.push_back(3); });
+  s.run_until(SimTime::seconds(2));  // runs #1, peeks #3 via direct search
+  ASSERT_EQ(order, (std::vector<int>{1}));
+  s.schedule_at(SimTime::seconds(10), [&order] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, SameTimestampStormRunsFifo) {
+  // Thousands of events in one bucket-day: the min-scan must fall back to
+  // sequence order, and the tie-break must hold across the whole storm.
+  Scheduler s;
+  const SimTime at = SimTime::milliseconds(5);
+  std::vector<int> order;
+  for (int i = 0; i < 4000; ++i) {
+    s.schedule_at(at, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  ASSERT_EQ(order.size(), 4000u);
+  for (int i = 0; i < 4000; ++i) ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, MassCancellationPurgesAndDrains) {
+  // Cancel-heavy workloads (CSMA ack timeouts) must not leave the calendar
+  // full of dead entries: after cancelling 90% the remainder runs normally.
+  Scheduler s;
+  std::vector<EventId> ids;
+  std::vector<int> order;
+  for (int i = 0; i < 10'000; ++i) {
+    ids.push_back(s.schedule_at(SimTime::microseconds(i), [&order, i] { order.push_back(i); }));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 10 != 0) {
+      ASSERT_TRUE(s.cancel(ids[i]));
+    }
+  }
+  EXPECT_EQ(s.pending(), 1000u);
+  s.run_all();
+  ASSERT_EQ(order.size(), 1000u);
+  for (std::size_t i = 1; i < order.size(); ++i) ASSERT_LT(order[i - 1], order[i]);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, EventsSchedulingEventsAcrossWidthScales) {
+  // A self-rescheduling chain that alternates ns-scale and s-scale gaps
+  // exercises repeated width re-derivation while events are in flight.
+  Scheduler s;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    ++hops;
+    if (hops >= 40) return;
+    const SimTime gap =
+        hops % 2 == 0 ? SimTime::nanoseconds(50) : SimTime::seconds(hops % 5 + 1);
+    s.schedule_in(gap, [&hop] { hop(); });
+  };
+  s.schedule_at(SimTime::zero(), [&hop] { hop(); });
+  s.run_all();
+  EXPECT_EQ(hops, 40);
+}
 
 }  // namespace
 }  // namespace nomc::sim

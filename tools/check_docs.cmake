@@ -1,0 +1,99 @@
+# Docs-honesty check, run as a ctest via `cmake -P`:
+#
+#   cmake -DREPO_ROOT=<source root> -P tools/check_docs.cmake
+#
+# Documentation rots by referencing files that moved and tools that were
+# renamed; this script makes those references part of the test suite. Over
+# docs/*.md and README.md it verifies:
+#   1. every backticked repo path (a token starting with src/, docs/,
+#      tools/, bench/, tests/, or examples/) resolves — directories,
+#      globs (`tests/golden/*.jsonl`), `:line` suffixes, and extensionless
+#      binary references (`bench/scaling_curve` -> scaling_curve.cpp) are
+#      all understood;
+#   2. every relative markdown link target resolves from the linking file;
+#   3. every tool binary this repo builds (tools/CMakeLists.txt
+#      OUTPUT_NAME values) is mentioned in the documentation somewhere.
+# Any failure lists every offending (file, reference) pair, then fails.
+
+if(NOT DEFINED REPO_ROOT)
+  get_filename_component(REPO_ROOT "${CMAKE_CURRENT_LIST_DIR}/.." ABSOLUTE)
+endif()
+
+file(GLOB doc_files "${REPO_ROOT}/docs/*.md")
+list(APPEND doc_files "${REPO_ROOT}/README.md")
+list(SORT doc_files)
+
+set(errors "")
+set(all_text "")
+
+# Resolves one repo-relative path reference; appends to `errors` if broken.
+function(check_path_token doc_name token)
+  # Drop a clickable `path:line` suffix.
+  string(REGEX REPLACE ":[0-9]+.*$" "" path "${token}")
+  if(EXISTS "${REPO_ROOT}/${path}")
+    return()
+  endif()
+  # Glob references (`tests/golden/*.jsonl`) must match at least one file.
+  if(path MATCHES "[*]")
+    file(GLOB hits "${REPO_ROOT}/${path}")
+    if(hits)
+      return()
+    endif()
+  else()
+    # Built-binary references (`bench/scaling_curve`) resolve through their
+    # source file (`bench/scaling_curve.cpp`).
+    file(GLOB hits "${REPO_ROOT}/${path}.*")
+    if(hits)
+      return()
+    endif()
+  endif()
+  set(errors "${errors}  ${doc_name}: broken path reference `${token}`\n" PARENT_SCOPE)
+endfunction()
+
+foreach(doc ${doc_files})
+  file(READ "${doc}" text)
+  get_filename_component(doc_name "${doc}" NAME)
+  get_filename_component(doc_dir "${doc}" DIRECTORY)
+  set(all_text "${all_text}${text}")
+
+  # 1. Backticked repo paths. Tokens with spaces are command lines whose
+  #    embedded paths get checked where they are referenced alone.
+  string(REGEX MATCHALL "`[^`\r\n]+`" ticks "${text}")
+  foreach(tick ${ticks})
+    string(REGEX REPLACE "^`(.*)`$" "\\1" token "${tick}")
+    if(token MATCHES "^(src|docs|tools|bench|tests|examples)/" AND NOT token MATCHES " ")
+      check_path_token("${doc_name}" "${token}")
+    endif()
+  endforeach()
+
+  # 2. Relative markdown link targets, resolved from the linking file.
+  string(REGEX MATCHALL "\\]\\(([^)\r\n]+)\\)" links "${text}")
+  foreach(link ${links})
+    string(REGEX REPLACE "^\\]\\((.*)\\)$" "\\1" target "${link}")
+    string(REGEX REPLACE "#.*$" "" target "${target}")
+    if(target STREQUAL "" OR target MATCHES "^[a-z]+://")
+      continue()
+    endif()
+    if(NOT EXISTS "${doc_dir}/${target}")
+      set(errors "${errors}  ${doc_name}: broken link target (${target})\n")
+    endif()
+  endforeach()
+endforeach()
+
+# 3. Every built tool binary must be documented. The list is read from
+#    tools/CMakeLists.txt so a renamed or added tool cannot drift silently.
+file(STRINGS "${REPO_ROOT}/tools/CMakeLists.txt" output_names
+     REGEX "OUTPUT_NAME [a-z0-9-]+")
+foreach(line ${output_names})
+  string(REGEX MATCH "OUTPUT_NAME ([a-z0-9-]+)" _ "${line}")
+  set(tool "${CMAKE_MATCH_1}")
+  if(NOT all_text MATCHES "${tool}")
+    set(errors "${errors}  no documentation mentions the `${tool}` tool\n")
+  endif()
+endforeach()
+
+if(errors)
+  message(FATAL_ERROR "documentation is out of date with the tree:\n${errors}")
+endif()
+list(LENGTH doc_files doc_count)
+message(STATUS "check_docs: ${doc_count} documents verified against the tree")
