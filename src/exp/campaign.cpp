@@ -8,6 +8,7 @@
 
 #include "cli/options.hpp"
 #include "net/scenario.hpp"
+#include "net/sharded_scenario.hpp"
 #include "net/topology.hpp"
 #include "phy/channel_plan.hpp"
 #include "sim/parallel.hpp"
@@ -88,7 +89,7 @@ bool rewrite_timing_sidecar(const std::string& path, const std::set<int>& comple
 }  // namespace
 
 PointResult run_point(const PointParams& params, sim::ParallelRunner& runner,
-                      const TrialHook& pre_run) {
+                      const TrialHook& pre_run, int trial_workers) {
   net::Scheme scheme = net::Scheme::kFixedCca;
   const bool scheme_ok = cli::parse_scheme(params.scheme, scheme);
   assert(scheme_ok && "PointParams.scheme must be pre-validated");
@@ -119,34 +120,46 @@ PointResult run_point(const PointParams& params, sim::ParallelRunner& runner,
       specs = net::case1_dense(channels, placement, topology);
     }
 
+    // Scenario and ShardedScenario expose the same result API; the collector
+    // is generic so both execution paths produce the numbers identically.
+    const auto collect = [&params](const auto& scenario) {
+      TrialNumbers one;
+      one.overall = scenario.overall_throughput();
+      for (int n = 0; n < scenario.network_count(); ++n) {
+        const auto network = scenario.network_result(n);
+        double prr = 0.0;
+        double backoffs = 0.0;
+        double drops = 0.0;
+        for (const auto& link : network.links) {
+          prr += link.prr;
+          backoffs += static_cast<double>(link.sender.cca_backoffs);
+          drops += static_cast<double>(link.sender.cca_failures);
+        }
+        one.pps.push_back(network.throughput_pps);
+        one.prr.push_back(prr / static_cast<double>(network.links.size()));
+        one.backoffs.push_back(backoffs / params.measure_s);
+        one.drops.push_back(drops / params.measure_s);
+      }
+      return one;
+    };
+
     net::ScenarioConfig config;
     config.seed = seed;
     config.psdu_bytes = params.psdu_bytes;
     config.fixed_cca_threshold = phy::Dbm{params.cca_dbm};
+    if (trial_workers != 1) {
+      net::ShardedScenario scenario{config, {.trial_workers = trial_workers}};
+      scenario.add_networks(specs, scheme);
+      scenario.run(sim::SimTime::seconds(params.warmup_s),
+                   sim::SimTime::seconds(params.measure_s));
+      return collect(scenario);
+    }
     net::Scenario scenario{config};
     if (pre_run) pre_run(trial, scenario);
     scenario.add_networks(specs, scheme);
     scenario.run(sim::SimTime::seconds(params.warmup_s),
                  sim::SimTime::seconds(params.measure_s));
-
-    TrialNumbers one;
-    one.overall = scenario.overall_throughput();
-    for (int n = 0; n < scenario.network_count(); ++n) {
-      const auto network = scenario.network_result(n);
-      double prr = 0.0;
-      double backoffs = 0.0;
-      double drops = 0.0;
-      for (const auto& link : network.links) {
-        prr += link.prr;
-        backoffs += static_cast<double>(link.sender.cca_backoffs);
-        drops += static_cast<double>(link.sender.cca_failures);
-      }
-      one.pps.push_back(network.throughput_pps);
-      one.prr.push_back(prr / static_cast<double>(network.links.size()));
-      one.backoffs.push_back(backoffs / params.measure_s);
-      one.drops.push_back(drops / params.measure_s);
-    }
-    return one;
+    return collect(scenario);
   });
 
   PointResult mean;
@@ -321,7 +334,8 @@ bool run_campaign(const CampaignSpec& spec, const std::string& out_path,
     const SweepPoint& point = *pending[static_cast<std::size_t>(slot)];
     const auto start = std::chrono::steady_clock::now();
     const PointResult result =
-        run_point(point.params, *trial_pools[static_cast<std::size_t>(worker)]);
+        run_point(point.params, *trial_pools[static_cast<std::size_t>(worker)], {},
+                  options.trial_workers);
     const double wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();

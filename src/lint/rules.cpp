@@ -196,6 +196,37 @@ void check_det_unordered_output(const SourceFile& file, std::vector<Diagnostic>&
   }
 }
 
+// ---- det-raw-thread ------------------------------------------------------
+
+// Raw threading primitives outside the sanctioned concurrency homes. All
+// parallelism must flow through sim::ParallelRunner (trial/point fan-out)
+// or sim::RegionExecutor (intra-trial region shards): both are deterministic
+// by construction, while an ad-hoc std::thread/std::async invites exactly
+// the thread-timing dependence the twin-run tests exist to rule out.
+// std::thread::hardware_concurrency() is a pure query and stays legal.
+void check_det_raw_thread(const SourceFile& file, std::vector<Diagnostic>& out) {
+  if (path_contains(file.path, "sim/parallel.") ||
+      path_contains(file.path, "sim/region_executor.")) {
+    return;
+  }
+  const auto& tokens = file.tokens;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdentifier || tokens[i].text != "std") continue;
+    if (tokens[i + 1].text != "::") continue;
+    const std::string& name = tokens[i + 2].text;
+    if (name != "thread" && name != "jthread" && name != "async") continue;
+    if (name == "thread" && i + 4 < tokens.size() && tokens[i + 3].text == "::" &&
+        tokens[i + 4].text == "hardware_concurrency") {
+      continue;
+    }
+    report(out, file, tokens[i].line, tokens[i].col, "det-raw-thread",
+           "raw std::" + name +
+               " outside src/sim/parallel* and src/sim/region_executor* — use "
+               "sim::ParallelRunner or sim::RegionExecutor so execution stays "
+               "deterministic at any worker count");
+  }
+}
+
 // ---- det-g-format --------------------------------------------------------
 
 void check_det_g_format(const SourceFile& file, std::vector<Diagnostic>& out) {
@@ -412,6 +443,7 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"det-rand", "nondeterministic or stdlib RNG outside src/sim/random.*"},
       {"det-time-seed", "wall-clock time() used as a seed value"},
       {"det-unordered-output", "unordered-container iteration feeding an output path"},
+      {"det-raw-thread", "raw std::thread/std::async outside the sanctioned runners"},
       {"det-g-format", "'g'-conversion float formatting outside the pinned store format"},
       {"unit-dbm-mw-mix", "+/- between dBm-named and mW-named quantities"},
       {"unit-naked-cca", "naked CCA-threshold literal outside the config headers"},
@@ -434,6 +466,7 @@ void run_cpp_rules(const SourceFile& file, std::vector<Diagnostic>& out) {
   check_det_rand(file, out);
   check_det_time_seed(file, out);
   check_det_unordered_output(file, out);
+  check_det_raw_thread(file, out);
   check_det_g_format(file, out);
   check_unit_dbm_mw_mix(file, out);
   check_unit_naked_cca(file, out);

@@ -48,10 +48,7 @@ void CsmaMac::send_control(phy::Frame frame) {
   frame.src = radio_.node();
   frame.channel = radio_.channel();
   frame.tx_power = tx_power_;
-  scheduler_.schedule_in(params_.turnaround, [this, frame] {
-    if (radio_.state() == phy::Radio::State::kTx) return;
-    radio_.transmit(frame);
-  });
+  radio_.schedule_tx(params_.turnaround, frame, /*skip_if_busy=*/true);
 }
 
 void CsmaMac::set_saturated(TxRequest request) {
@@ -133,23 +130,24 @@ void CsmaMac::do_cca() {
     return;
   }
 
-  pending_event_ = scheduler_.schedule_in(params_.turnaround, [this] {
-    pending_event_ = sim::kInvalidEventId;
-    assert(current_.has_value());
-    phy::Frame frame;
-    frame.id = medium_.allocate_frame_id();
-    frame.src = radio_.node();
-    frame.dst = current_->dst;
-    frame.channel = radio_.channel();
-    frame.tx_power = tx_power_;
-    frame.psdu_bytes = current_->psdu_bytes;
-    frame.sequence = awaiting_ack_sequence_;
-    frame.ack_request = current_->ack_request;
-    frame.repair_round = current_->repair_round;
-    frame.aux = current_->aux;
-    radio_.transmit(frame);
-    // Completion continues in on_tx_done().
-  });
+  // CCA is clear: the transmission is committed. The frame is built (and its
+  // id allocated) here, at the commit instant, because the decision is
+  // irrevocable from this point — the radio fires exactly one turnaround
+  // later, which is the lookahead a region router relies on to mirror the
+  // frame onto neighbouring shards before it can be observed anywhere.
+  phy::Frame frame;
+  frame.id = medium_.allocate_frame_id();
+  frame.src = radio_.node();
+  frame.dst = current_->dst;
+  frame.channel = radio_.channel();
+  frame.tx_power = tx_power_;
+  frame.psdu_bytes = current_->psdu_bytes;
+  frame.sequence = awaiting_ack_sequence_;
+  frame.ack_request = current_->ack_request;
+  frame.repair_round = current_->repair_round;
+  frame.aux = current_->aux;
+  pending_event_ = radio_.schedule_tx(params_.turnaround, frame);
+  // Completion continues in on_tx_done().
 }
 
 void CsmaMac::send_ack(const phy::Frame& data_frame) {

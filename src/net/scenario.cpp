@@ -178,6 +178,11 @@ phy::Mhz Scenario::network_channel(int network) const {
 }
 
 void Scenario::run(sim::SimTime warmup, sim::SimTime measure) {
+  start_run(warmup, measure);
+  scheduler_.run_until(warmup + measure);
+}
+
+void Scenario::start_run(sim::SimTime warmup, sim::SimTime measure) {
   assert(!ran_ && "Scenario::run is one-shot");
   ran_ = true;
   const sim::SimTime window_start = warmup;
@@ -188,8 +193,9 @@ void Scenario::run(sim::SimTime warmup, sim::SimTime measure) {
       link->meter.set_window(window_start, window_end);
       if (link->adjustor != nullptr) link->adjustor->start();
       if (link->traffic_enabled) {
-        link->sender_mac->set_saturated(
-            mac::TxRequest{link->receiver_id, config_.psdu_bytes});
+        mac::TxRequest request{link->receiver_id, config_.psdu_bytes};
+        request.ack_request = config_.ack_request;
+        link->sender_mac->set_saturated(request);
       }
     }
   }
@@ -203,8 +209,6 @@ void Scenario::run(sim::SimTime warmup, sim::SimTime measure) {
       }
     }
   });
-
-  scheduler_.run_until(window_end);
 }
 
 Scenario::NetworkResult Scenario::network_result(int network) const {

@@ -40,7 +40,16 @@ struct ScenarioConfig {
   /// saturation frame size that matches the testbed's ~250 packets/s per
   /// channel ceiling.
   int psdu_bytes = 100;
+  /// Request MAC acknowledgements on the saturated data traffic. The paper's
+  /// experiments run without ACKs (the default); tests enable this to drive
+  /// cancel-heavy ACK-timer workloads through the full stack.
+  bool ack_request = false;
   std::uint64_t seed = 1;
+  /// Base offset for the RNG stream indices this scenario allocates (radio,
+  /// MAC, adjustor streams). Region-sharded runs give every shard a disjoint
+  /// block under the same seed so shard streams never collide; serial runs
+  /// keep 0.
+  std::uint64_t stream_base = 0;
 };
 
 class Scenario {
@@ -84,6 +93,12 @@ class Scenario {
   /// and collect statistics over the measurement window only.
   void run(sim::SimTime warmup, sim::SimTime measure);
 
+  /// The setup half of run(): arm traffic sources, adjustors, and the
+  /// window-baseline snapshot without advancing time. A region-sharded run
+  /// calls this on every shard and then drives all shard schedulers through
+  /// one sim::RegionExecutor instead of the local run_until.
+  void start_run(sim::SimTime warmup, sim::SimTime measure);
+
   // -- Results (valid after run) ----------------------------------------
   struct LinkResult {
     double throughput_pps = 0.0;           ///< deliveries/s in the window
@@ -106,7 +121,7 @@ class Scenario {
 
   [[nodiscard]] LinkRuntime& link_at(int network, int link);
   [[nodiscard]] const LinkRuntime& link_at(int network, int link) const;
-  [[nodiscard]] std::uint64_t next_stream() { return stream_counter_++; }
+  [[nodiscard]] std::uint64_t next_stream() { return config_.stream_base + stream_counter_++; }
 
   ScenarioConfig config_;
   sim::Scheduler scheduler_;

@@ -1,0 +1,199 @@
+#include "net/sharded_scenario.hpp"
+
+#include <cassert>
+
+namespace nomc::net {
+
+namespace {
+
+/// Node-id spacing between shard mediums: far larger than any region's node
+/// count, far smaller than kNoNode, so ids stay globally unique and mirrored
+/// frames can never alias a local node.
+constexpr phy::NodeId kShardNodeStride = phy::NodeId{1} << 20;
+/// Frame-id spacing: the per-shard allocator counts within its region's
+/// block, keeping shadowing-hash inputs collision-free across shards.
+constexpr phy::FrameId kShardFrameStride = phy::FrameId{1} << 48;
+/// RNG stream-index spacing (see ScenarioConfig::stream_base).
+constexpr std::uint64_t kShardStreamStride = std::uint64_t{1} << 32;
+
+[[nodiscard]] phy::Vec2 centroid_of(const NetworkSpec& spec) {
+  phy::Vec2 sum{0.0, 0.0};
+  int count = 0;
+  for (const LinkSpec& link : spec.links) {
+    sum = sum + link.sender_pos + link.receiver_pos;
+    count += 2;
+  }
+  if (count == 0) return sum;
+  return {sum.x / count, sum.y / count};
+}
+
+}  // namespace
+
+/// Per-shard TxRouter: posts the origin radio's own transmit and mirrors the
+/// frame onto every other region the influence disc touches, all through the
+/// executor so the (time, origin, sequence) merge order is fixed.
+class ShardedScenario::Router final : public phy::TxRouter {
+ public:
+  Router(ShardedScenario& owner, int region) : owner_{owner}, region_{region} {}
+
+  void commit_tx(const phy::Frame& frame, sim::SimTime start, phy::Radio& origin,
+                 bool skip_if_busy) override {
+    sim::RegionExecutor& executor = *owner_.executor_;
+    // Origin's own transmission first: within one commit the local action
+    // precedes the mirrors in posting order, so equal-time delivery is fixed.
+    phy::Radio* radio = &origin;
+    if (skip_if_busy) {
+      executor.post(region_, region_, start, [radio, frame] {
+        if (radio->state() == phy::Radio::State::kTx) return;
+        radio->transmit(frame);
+      });
+    } else {
+      executor.post(region_, region_, start, [radio, frame] { radio->transmit(frame); });
+    }
+    const sim::SimTime stop = start + frame.duration();
+    const double radius = owner_.influence_radius_m_;
+    for (int r = 0; r < owner_.region_count(); ++r) {
+      if (r == region_) continue;
+      if (!owner_.extents_[static_cast<std::size_t>(r)].intersects_disc(frame.src_pos,
+                                                                        radius)) {
+        continue;
+      }
+      phy::Medium* medium = &owner_.shards_[static_cast<std::size_t>(r)]->medium();
+      executor.post(region_, r, start, [medium, frame] { medium->begin_tx(frame); });
+      executor.post(region_, r, stop, [medium, id = frame.id] { medium->end_tx(id); });
+    }
+  }
+
+ private:
+  ShardedScenario& owner_;
+  int region_;
+};
+
+ShardedScenario::ShardedScenario(ScenarioConfig config, ShardingConfig sharding)
+    : config_{std::move(config)}, sharding_{sharding} {}
+
+ShardedScenario::~ShardedScenario() = default;
+
+void ShardedScenario::add_networks(std::span<const NetworkSpec> specs, Scheme scheme) {
+  assert(!ran_ && "add networks before run()");
+  for (const NetworkSpec& spec : specs) assigned_.push_back({spec, scheme, -1, -1});
+}
+
+void ShardedScenario::run(sim::SimTime warmup, sim::SimTime measure) {
+  assert(!ran_ && "ShardedScenario::run is one-shot");
+  ran_ = true;
+
+  // Influence radius at the strongest configured transmitter: the mirroring
+  // disc must cover the loudest frame any link can commit.
+  phy::Dbm max_power{-300.0};
+  std::vector<phy::Vec2> centroids;
+  centroids.reserve(assigned_.size());
+  for (const Assigned& a : assigned_) {
+    centroids.push_back(centroid_of(a.spec));
+    for (const LinkSpec& link : a.spec.links) {
+      if (link.tx_power.value > max_power.value) max_power = link.tx_power;
+    }
+  }
+  influence_radius_m_ = phy::influence_radius_m(config_.medium, max_power);
+
+  // Region planning: a pure function of the deployment geometry. Culling
+  // must be on for mirroring to be bounded by the influence disc; without it
+  // everything stays in one region (the serial path).
+  phy::RegionPartition partition;
+  int regions = 1;
+  if (config_.medium.culling.enabled && assigned_.size() > 1) {
+    partition = phy::RegionPartition::plan(centroids, influence_radius_m_,
+                                           sharding_.max_region_side);
+    regions = std::max(partition.region_count(), 1);
+  }
+
+  // Build one Scenario per region. Region 0 keeps all-zero bases, so a
+  // single-region plan constructs exactly the Scenario a serial run would.
+  shards_.reserve(static_cast<std::size_t>(regions));
+  for (int r = 0; r < regions; ++r) {
+    ScenarioConfig shard_config = config_;
+    shard_config.medium.node_id_base = static_cast<phy::NodeId>(r) * kShardNodeStride;
+    shard_config.medium.frame_id_base = static_cast<phy::FrameId>(r) * kShardFrameStride;
+    shard_config.stream_base =
+        config_.stream_base + static_cast<std::uint64_t>(r) * kShardStreamStride;
+    shards_.push_back(std::make_unique<Scenario>(std::move(shard_config)));
+  }
+
+  // Assign whole networks to regions by centroid and grow region extents
+  // over their actual node positions (extents, not tiles, gate mirroring).
+  extents_.assign(static_cast<std::size_t>(regions), {});
+  for (std::size_t i = 0; i < assigned_.size(); ++i) {
+    Assigned& a = assigned_[i];
+    a.region = regions == 1 ? 0 : partition.region_of(centroids[i]);
+    Scenario& shard = *shards_[static_cast<std::size_t>(a.region)];
+    a.local = shard.add_network(a.spec.channel, a.scheme);
+    for (const LinkSpec& link : a.spec.links) {
+      shard.add_link(a.local, link);
+      extents_[static_cast<std::size_t>(a.region)].grow(link.sender_pos);
+      extents_[static_cast<std::size_t>(a.region)].grow(link.receiver_pos);
+    }
+  }
+
+  if (regions == 1) {
+    // Serial path, byte-identical to a plain Scenario: no routers, no
+    // windows, no executor overhead.
+    shards_[0]->run(warmup, measure);
+    return;
+  }
+
+  // The conservative lookahead is the MAC's rx/tx turnaround: every commit
+  // (CCA-clear or control frame) precedes its air time by exactly that much.
+  executor_ = std::make_unique<sim::RegionExecutor>(sim::RegionExecutorConfig{
+      .lookahead = config_.csma.turnaround, .workers = sharding_.trial_workers});
+  for (int r = 0; r < regions; ++r) executor_->add_shard(&shards_[static_cast<std::size_t>(r)]->scheduler());
+
+  routers_.reserve(static_cast<std::size_t>(regions));
+  for (int r = 0; r < regions; ++r) {
+    routers_.push_back(std::make_unique<Router>(*this, r));
+    Scenario& shard = *shards_[static_cast<std::size_t>(r)];
+    for (int n = 0; n < shard.network_count(); ++n) {
+      for (int l = 0; l < shard.link_count(n); ++l) {
+        shard.sender_radio(n, l).set_tx_router(routers_.back().get());
+        shard.receiver_radio(n, l).set_tx_router(routers_.back().get());
+      }
+    }
+  }
+
+  for (const auto& shard : shards_) shard->start_run(warmup, measure);
+  executor_->run_until(warmup + measure);
+}
+
+Scenario::NetworkResult ShardedScenario::network_result(int network) const {
+  assert(ran_);
+  assert(network >= 0 && network < network_count());
+  const Assigned& a = assigned_[static_cast<std::size_t>(network)];
+  return shards_[static_cast<std::size_t>(a.region)]->network_result(a.local);
+}
+
+std::vector<double> ShardedScenario::network_throughputs() const {
+  std::vector<double> out;
+  out.reserve(assigned_.size());
+  for (int n = 0; n < network_count(); ++n) out.push_back(network_result(n).throughput_pps);
+  return out;
+}
+
+double ShardedScenario::overall_throughput() const {
+  double total = 0.0;
+  for (int n = 0; n < network_count(); ++n) total += network_result(n).throughput_pps;
+  return total;
+}
+
+Scenario& ShardedScenario::shard(int region) {
+  assert(region >= 0 && region < region_count());
+  return *shards_[static_cast<std::size_t>(region)];
+}
+
+std::uint64_t ShardedScenario::messages_delivered() const {
+  return executor_ == nullptr ? 0 : executor_->messages_delivered();
+}
+
+std::uint64_t ShardedScenario::windows() const {
+  return executor_ == nullptr ? 0 : executor_->windows();
+}
+
+}  // namespace nomc::net

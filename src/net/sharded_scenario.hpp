@@ -1,0 +1,104 @@
+// ShardedScenario: one trial, many cores, bit-identical output.
+//
+// Splits a multi-network deployment into spatial regions (one Scenario —
+// scheduler + medium + radios — per region) and advances the region shards
+// through a sim::RegionExecutor in conservative lookahead windows. Committed
+// transmissions are announced through phy::TxRouter: the origin shard
+// schedules its own radio's transmit, and every other shard whose extent the
+// frame's influence disc touches receives a mirrored begin_tx/end_tx pair,
+// so cross-region interference, carrier sensing, and promiscuous overhears
+// (the DCN adjustor's diet) are all preserved.
+//
+// Determinism contract (argued in docs/parallel_trial.md):
+//   * the region count is a pure function of the deployment geometry —
+//     never of the worker count;
+//   * shard RNG streams are split from the one trial seed via disjoint
+//     stream-index blocks (ScenarioConfig::stream_base), and shard mediums
+//     share the seed, so shadowing draws agree on mirrored frames;
+//   * cross-shard messages merge in fixed (time, origin, sequence) order at
+//     every window barrier;
+//   * a deployment that plans to a single region runs the plain serial
+//     Scenario path, byte-identical to Scenario::run — the golden stores
+//     remain the oracle for the whole construction.
+//
+// Supported workloads: static topologies with culling enabled (a disabled
+// culling config forces a single region — without an influence radius there
+// is no bound on who hears whom). Control frames (ACK/NACK) work, with one
+// documented approximation: a mirrored control frame suppressed at the
+// origin because its radio was mid-TX at fire time still appears as
+// interference on neighbouring shards (the skip decision cannot cross the
+// lookahead horizon). The paper's campaigns run without ACKs, and a
+// single-region run has no mirroring at all, so the golden path is exact.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/scenario.hpp"
+#include "phy/region_partition.hpp"
+#include "sim/region_executor.hpp"
+
+namespace nomc::net {
+
+struct ShardingConfig {
+  /// Worker threads for the region executor, resolve_jobs() semantics.
+  /// Purely a wall-clock knob: results are identical at any value.
+  int trial_workers = 1;
+  /// Region grid cap per axis (<= max_region_side^2 regions). More regions
+  /// buy parallelism but cost barrier synchronization and ghost mirroring.
+  int max_region_side = 8;
+};
+
+class ShardedScenario {
+ public:
+  explicit ShardedScenario(ScenarioConfig config, ShardingConfig sharding = {});
+  ~ShardedScenario();
+  ShardedScenario(const ShardedScenario&) = delete;
+  ShardedScenario& operator=(const ShardedScenario&) = delete;
+
+  /// Declare networks, mirroring Scenario::add_networks. Global network
+  /// indices follow declaration order across calls.
+  void add_networks(std::span<const NetworkSpec> specs, Scheme scheme);
+
+  /// Plan regions, build shards, and run. One-shot, like Scenario::run.
+  void run(sim::SimTime warmup, sim::SimTime measure);
+
+  // -- Results (valid after run; mirror Scenario's result API) -----------
+  [[nodiscard]] int network_count() const { return static_cast<int>(assigned_.size()); }
+  [[nodiscard]] Scenario::NetworkResult network_result(int network) const;
+  [[nodiscard]] std::vector<double> network_throughputs() const;
+  [[nodiscard]] double overall_throughput() const;
+
+  // -- Introspection (valid after run) -----------------------------------
+  [[nodiscard]] int region_count() const { return static_cast<int>(shards_.size()); }
+  /// The shard hosting region `region`; lets tests attach trace sinks and
+  /// compare against a plain Scenario.
+  [[nodiscard]] Scenario& shard(int region);
+  /// Cross-region messages delivered and barrier windows executed; zero for
+  /// single-region runs (telemetry for tests and benches).
+  [[nodiscard]] std::uint64_t messages_delivered() const;
+  [[nodiscard]] std::uint64_t windows() const;
+
+ private:
+  class Router;
+
+  struct Assigned {
+    NetworkSpec spec;
+    Scheme scheme = Scheme::kFixedCca;
+    int region = -1;  ///< filled during run()
+    int local = -1;   ///< network index within the region's Scenario
+  };
+
+  ScenarioConfig config_;
+  ShardingConfig sharding_;
+  std::vector<Assigned> assigned_;
+  std::vector<std::unique_ptr<Scenario>> shards_;
+  std::vector<phy::Aabb> extents_;  ///< per-region node bounding box
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::unique_ptr<sim::RegionExecutor> executor_;
+  double influence_radius_m_ = 0.0;  ///< at the strongest configured tx power
+  bool ran_ = false;
+};
+
+}  // namespace nomc::net

@@ -6,8 +6,16 @@
 
 namespace nomc::phy {
 
+double influence_radius_m(const MediumConfig& config, Dbm tx_power) {
+  const double shadow_cap = config.culling.shadow_cap_sigma * config.shadowing_sigma_db;
+  const double floor = config.noise_floor.value - config.culling.margin_db;
+  return config.path_loss.distance_for_loss(Db{tx_power.value + shadow_cap - floor});
+}
+
 Medium::Medium(MediumConfig config)
-    : config_{std::move(config)}, shadowing_{config_.shadowing_sigma_db, config_.seed} {
+    : config_{std::move(config)},
+      shadowing_{config_.shadowing_sigma_db, config_.seed},
+      next_frame_id_{config_.frame_id_base + 1} {
   if (config_.culling.enabled) {
     double cell = config_.culling.cell_size_m;
     if (cell <= 0.0) cell = influence_radius_m(Dbm{0.0});
@@ -16,30 +24,26 @@ Medium::Medium(MediumConfig config)
 }
 
 double Medium::influence_radius_m(Dbm tx_power) const {
-  const double shadow_cap = config_.culling.shadow_cap_sigma * config_.shadowing_sigma_db;
-  return config_.path_loss.distance_for_loss(Db{tx_power.value + shadow_cap - cull_floor_dbm()});
+  return phy::influence_radius_m(config_, tx_power);
 }
 
 NodeId Medium::add_node(Vec2 position) {
   positions_.push_back(position);
   epochs_.push_back(0);
   loss_cache_.emplace_back();
-  return static_cast<NodeId>(positions_.size() - 1);
+  return config_.node_id_base + static_cast<NodeId>(positions_.size() - 1);
 }
 
-Vec2 Medium::position(NodeId node) const {
-  assert(node < positions_.size());
-  return positions_[node];
-}
+Vec2 Medium::position(NodeId node) const { return positions_[local_index(node)]; }
 
 void Medium::set_position(NodeId node, Vec2 position) {
-  assert(node < positions_.size());
-  positions_[node] = position;
+  const std::size_t index = local_index(node);
+  positions_[index] = position;
   // O(1) invalidation of every cached pair involving the moved node: other
   // nodes' entries snapshot this node's epoch and now fail the check; the
   // node's own map is dropped outright (capacity retained).
-  ++epochs_[node];
-  loss_cache_[node].clear();
+  ++epochs_[index];
+  loss_cache_[index].clear();
   // Re-bucket the mover's in-flight frames so the spatial index keeps
   // answering from current positions.
   for (std::size_t i = 0; i < frame_slots_.size(); ++i) {
@@ -54,19 +58,41 @@ void Medium::set_position(NodeId node, Vec2 position) {
 }
 
 double Medium::cached_loss_db(NodeId a, NodeId b) const {
-  NodeValueMap::Entry& entry = loss_cache_[a].find_or_insert(b);
-  if (entry.key != b || entry.epoch != epochs_[b]) {
+  const std::size_t ai = local_index(a);
+  const std::size_t bi = local_index(b);
+  NodeValueMap::Entry& entry = loss_cache_[ai].find_or_insert(b);
+  if (entry.key != b || entry.epoch != epochs_[bi]) {
     entry.key = b;
-    entry.epoch = epochs_[b];
-    entry.value = config_.path_loss.loss(distance(positions_[a], positions_[b])).value;
+    entry.epoch = epochs_[bi];
+    entry.value = config_.path_loss.loss(distance(positions_[ai], positions_[bi])).value;
   }
 #ifndef NDEBUG
   // Debug cross-check: a served cache hit must equal a fresh computation —
   // i.e. no stale entry survives motion invalidation. (Release builds skip
   // this; it turns every hit into a recompute.)
-  assert(entry.value == config_.path_loss.loss(distance(positions_[a], positions_[b])).value &&
+  assert(entry.value == config_.path_loss.loss(distance(positions_[ai], positions_[bi])).value &&
          "stale path-loss cache entry served after node motion");
 #endif
+  return entry.value;
+}
+
+double Medium::cached_ext_loss_db(const Frame& frame, NodeId rx) const {
+  auto it = ext_loss_cache_.find(frame.id);
+  if (it == ext_loss_cache_.end()) {
+    NodeValueMap map;
+    if (!spare_maps_.empty()) {
+      map = std::move(spare_maps_.back());
+      spare_maps_.pop_back();
+    }
+    it = ext_loss_cache_.emplace(frame.id, std::move(map)).first;
+  }
+  const std::size_t ri = local_index(rx);
+  NodeValueMap::Entry& entry = it->second.find_or_insert(rx);
+  if (entry.key != rx || entry.epoch != epochs_[ri]) {
+    entry.key = rx;
+    entry.epoch = epochs_[ri];
+    entry.value = config_.path_loss.loss(distance(frame.src_pos, positions_[ri])).value;
+  }
   return entry.value;
 }
 
@@ -88,22 +114,47 @@ double Medium::cached_shadow_db(FrameId frame, NodeId rx) const {
   return entry.value;
 }
 
-void Medium::add_listener(MediumListener* listener) {
+void Medium::add_listener(MediumListener* listener, NodeId node) {
   assert(listener != nullptr);
-  listeners_.push_back(listener);
+  assert(owns(node) && "listeners must listen at a locally registered node");
+  listeners_.push_back({listener, node});
 }
 
 void Medium::remove_listener(MediumListener* listener) {
-  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+  listeners_.erase(std::remove_if(listeners_.begin(), listeners_.end(),
+                                  [listener](const ListenerEntry& e) {
+                                    return e.listener == listener;
+                                  }),
                    listeners_.end());
+}
+
+void Medium::notify_listeners(const Frame& frame, Vec2 src_pos, double radius, bool start) {
+  // With culling on, a listener beyond the influence disc could not measure
+  // the frame anyway (its RSS sits below the receive floor); skipping the
+  // callback only moves where error-segment RNG draws are anchored. At paper
+  // scale the disc exceeds the deployment span, so nothing is ever skipped
+  // and the serial draw sequence is unchanged.
+  const bool cull = config_.culling.enabled;
+  const double r2 = radius * radius;
+  for (const ListenerEntry& e : listeners_) {
+    if (cull && distance_sq(positions_[local_index(e.node)], src_pos) > r2) continue;
+    if (start) {
+      e.listener->on_tx_start(frame);
+    } else {
+      e.listener->on_tx_end(frame);
+    }
+  }
 }
 
 void Medium::begin_tx(const Frame& frame) {
   assert(frame.id != 0 && "allocate the frame id through the medium");
-  assert(frame.src < positions_.size());
   assert(slot_of_.find(frame.id) == slot_of_.end() && "frame id already on the air");
+  // A frame from a locally registered source is placed at that node's current
+  // position; a foreign (region-mirrored) frame at its committed snapshot.
+  const Vec2 src_pos = owns(frame.src) ? positions_[local_index(frame.src)] : frame.src_pos;
+  const double radius = influence_radius_m(frame.tx_power);
   // Notify first: listeners observe the pre-change interference set.
-  for (MediumListener* l : listeners_) l->on_tx_start(frame);
+  notify_listeners(frame, src_pos, radius, /*start=*/true);
   std::uint32_t slot;
   if (!free_frame_slots_.empty()) {
     slot = free_frame_slots_.back();
@@ -114,9 +165,9 @@ void Medium::begin_tx(const Frame& frame) {
   }
   ActiveFrame& af = frame_slots_[slot];
   af.frame = frame;
-  af.src_pos = positions_[frame.src];
+  af.src_pos = src_pos;
   af.begin_seq = next_begin_seq_++;
-  af.radius = influence_radius_m(frame.tx_power);
+  af.radius = radius;
   af.live = true;
   slot_of_.emplace(frame.id, slot);
   if (config_.culling.enabled) {
@@ -129,8 +180,12 @@ void Medium::begin_tx(const Frame& frame) {
 void Medium::end_tx(FrameId id) {
   auto it = slot_of_.find(id);
   assert(it != slot_of_.end() && "end_tx for a frame that is not on the air");
+  // Copy before notifying: a listener may begin a transmission, growing
+  // frame_slots_ and invalidating the reference.
   const Frame frame = frame_slots_[it->second].frame;
-  for (MediumListener* l : listeners_) l->on_tx_end(frame);
+  const Vec2 src_pos = frame_slots_[it->second].src_pos;
+  const double radius = frame_slots_[it->second].radius;
+  notify_listeners(frame, src_pos, radius, /*start=*/false);
   // Re-find: a listener may have started a transmission, rehashing slot_of_.
   it = slot_of_.find(id);
   assert(it != slot_of_.end());
@@ -151,15 +206,22 @@ void Medium::end_tx(FrameId id) {
     spare_maps_.push_back(std::move(shadow->second));
     shadow_cache_.erase(shadow);
   }
+  const auto ext = ext_loss_cache_.find(id);
+  if (ext != ext_loss_cache_.end()) {
+    ext->second.clear();
+    spare_maps_.push_back(std::move(ext->second));
+    ext_loss_cache_.erase(ext);
+  }
 }
 
 Dbm Medium::rss(const Frame& frame, NodeId rx) const {
-  assert(rx < positions_.size());
+  assert(owns(rx));
+  const double loss =
+      owns(frame.src) ? cached_loss_db(frame.src, rx) : cached_ext_loss_db(frame, rx);
   if (shadowing_.sigma_db() <= 0.0) {
-    return frame.tx_power - Db{cached_loss_db(frame.src, rx)};
+    return frame.tx_power - Db{loss};
   }
-  return frame.tx_power - Db{cached_loss_db(frame.src, rx)} +
-         Db{cached_shadow_db(frame.id, rx)};
+  return frame.tx_power - Db{loss} + Db{cached_shadow_db(frame.id, rx)};
 }
 
 Db Medium::leak_attenuation(const Frame& f, Mhz delta, const ChannelRejection& rejection) {
@@ -175,7 +237,7 @@ Db Medium::leak_attenuation(const Frame& f, Mhz delta, const ChannelRejection& r
 void Medium::gather(NodeId node, bool ordered, bool force_exhaustive) const {
   scratch_.clear();
   if (config_.culling.enabled && !force_exhaustive) {
-    const Vec2 at = positions_[node];
+    const Vec2 at = positions_[local_index(node)];
     grid_.for_each_in_disc(at, max_active_radius_, [&](std::uint32_t slot) {
       const ActiveFrame& af = frame_slots_[slot];
       if (distance_sq(at, af.src_pos) <= af.radius * af.radius) {

@@ -43,6 +43,7 @@
 // runs one Medium per thread — see sim/parallel.hpp).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -93,7 +94,21 @@ struct MediumConfig {
   double shadowing_sigma_db = 2.5;
   std::uint64_t seed = 1;
   CullingConfig culling{};
+  /// First node id add_node() hands out. Region-sharded runs give each shard
+  /// medium a disjoint id range so mirrored frames never alias local nodes;
+  /// serial runs keep the default 0.
+  NodeId node_id_base = 0;
+  /// allocate_frame_id() counts up from frame_id_base + 1. Region-sharded
+  /// runs key this off the region index so frame ids stay globally unique
+  /// (shadowing draws hash the frame id; collisions would correlate fades).
+  FrameId frame_id_base = 0;
 };
+
+/// The culling radius a frame sent at `tx_power` carries under `config`:
+/// the distance at which tx_power + the shadowing head-room falls to the
+/// receive floor (noise − margin). Free-standing so region planners can
+/// derive shard extents without building a Medium.
+[[nodiscard]] double influence_radius_m(const MediumConfig& config, Dbm tx_power);
 
 class Medium {
  public:
@@ -101,14 +116,31 @@ class Medium {
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
 
-  /// Registers a node at `position`; returns its id (dense, starting at 0).
+  /// Registers a node at `position`; returns its id (dense, starting at
+  /// `node_id_base`).
   NodeId add_node(Vec2 position);
   [[nodiscard]] std::size_t node_count() const { return positions_.size(); }
+  /// True when `node` was registered with this medium (its id falls in this
+  /// medium's [node_id_base, node_id_base + node_count) range). Frames from
+  /// foreign sources — mirrored by a region router — fail this and are
+  /// modelled from their Frame::src_pos snapshot instead.
+  [[nodiscard]] bool owns(NodeId node) const {
+    return node >= config_.node_id_base &&
+           node - config_.node_id_base < positions_.size();
+  }
   [[nodiscard]] Vec2 position(NodeId node) const;
   void set_position(NodeId node, Vec2 position);
 
-  /// Listeners (radios) are notified of every tx start/end.
-  void add_listener(MediumListener* listener);
+  /// Listeners (radios) are notified of tx start/end. `node` is the
+  /// listener's own (locally registered) node: with culling enabled,
+  /// notifications are delivered only to listeners inside the frame's
+  /// influence disc — beyond it the frame is unobservable by construction,
+  /// so skipping the callback only re-anchors where error-segment RNG draws
+  /// happen, never what a receiver can measure. Assumes listeners do not
+  /// move across an influence boundary while a frame is in flight (static
+  /// deployments; paper-scale discs exceed the deployment span, so nothing
+  /// is ever skipped there).
+  void add_listener(MediumListener* listener, NodeId node);
   void remove_listener(MediumListener* listener);
 
   [[nodiscard]] FrameId allocate_frame_id() { return next_frame_id_++; }
@@ -174,6 +206,9 @@ class Medium {
 
   [[nodiscard]] MilliWatts accumulate(NodeId node, Mhz channel, FrameId exclude,
                                       const ChannelRejection& rejection) const;
+  /// Deliver on_tx_start/on_tx_end for `frame` to every listener inside its
+  /// influence disc (all listeners when culling is off).
+  void notify_listeners(const Frame& frame, Vec2 src_pos, double radius, bool start);
   /// How much of frame `f`'s energy leaks into a receiver tuned `delta` away:
   /// the receiver's filter curve, floored by the transmitter's own emission
   /// mask when one is attached (a wide transmitter puts power inside a
@@ -182,9 +217,19 @@ class Medium {
   [[nodiscard]] static Db leak_attenuation(const Frame& f, Mhz delta,
                                            const ChannelRejection& rejection);
   /// Memoized PL(distance(a, b)); entries staled by either endpoint moving.
+  /// Both endpoints must be locally registered.
   [[nodiscard]] double cached_loss_db(NodeId a, NodeId b) const;
+  /// Memoized PL between a foreign frame's src_pos snapshot and local `rx`,
+  /// keyed per frame id (recycled when the frame leaves the air).
+  [[nodiscard]] double cached_ext_loss_db(const Frame& frame, NodeId rx) const;
   /// Memoized shadowing draw for (frame id, rx).
   [[nodiscard]] double cached_shadow_db(FrameId frame, NodeId rx) const;
+
+  /// Dense storage index of a locally registered node.
+  [[nodiscard]] std::size_t local_index(NodeId node) const {
+    assert(owns(node));
+    return static_cast<std::size_t>(node - config_.node_id_base);
+  }
 
   /// Noise floor minus the culling margin, in dBm: energy below this is
   /// treated as unobservable.
@@ -197,12 +242,19 @@ class Medium {
   /// `ordered` so floating-point accumulation replays begin_tx order exactly.
   void gather(NodeId node, bool ordered, bool force_exhaustive = false) const;
 
+  /// A registered listener and the node it listens at (for notification
+  /// culling against the influence disc).
+  struct ListenerEntry {
+    MediumListener* listener = nullptr;
+    NodeId node = kNoNode;
+  };
+
   MediumConfig config_;
   ShadowingField shadowing_;
   std::vector<Vec2> positions_;
   /// Bumped when the node moves; loss-cache entries snapshot it (see below).
   std::vector<std::uint32_t> epochs_;
-  std::vector<MediumListener*> listeners_;
+  std::vector<ListenerEntry> listeners_;
   FrameId next_frame_id_ = 1;
 
   // -- Active set (slot pool + spatial index) ----------------------------
@@ -224,6 +276,9 @@ class Medium {
   /// Per-frame shadowing draws keyed by rx; map storage recycles through
   /// spare_maps_ when frames leave the air.
   mutable std::unordered_map<FrameId, NodeValueMap> shadow_cache_;
+  /// Path loss from a foreign frame's src_pos snapshot, keyed like
+  /// shadow_cache_ and recycled through the same pool.
+  mutable std::unordered_map<FrameId, NodeValueMap> ext_loss_cache_;
   mutable std::vector<NodeValueMap> spare_maps_;
   /// Query candidate buffer, reused across queries (single-threaded).
   mutable std::vector<std::pair<std::uint64_t, std::uint32_t>> scratch_;

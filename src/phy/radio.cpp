@@ -26,7 +26,7 @@ Radio::Radio(sim::Scheduler& scheduler, Medium& medium, sim::RandomStream rng, N
       rng_{std::move(rng)},
       self_{self},
       config_{config} {
-  medium_.add_listener(this);
+  medium_.add_listener(this, self_);
 }
 
 Radio::~Radio() { medium_.remove_listener(this); }
@@ -75,6 +75,21 @@ void Radio::transmit(const Frame& frame) {
     state_ = State::kIdle;
     if (listener_ != nullptr) listener_->on_tx_done(frame);
   });
+}
+
+sim::EventId Radio::schedule_tx(sim::SimTime lead, Frame frame, bool skip_if_busy) {
+  frame.src_pos = medium_.position(self_);
+  if (router_ != nullptr) {
+    router_->commit_tx(frame, scheduler_.now() + lead, *this, skip_if_busy);
+    return sim::kInvalidEventId;
+  }
+  if (skip_if_busy) {
+    return scheduler_.schedule_in(lead, [this, frame] {
+      if (state_ == State::kTx) return;
+      transmit(frame);
+    });
+  }
+  return scheduler_.schedule_in(lead, [this, frame] { transmit(frame); });
 }
 
 void Radio::abort_rx() {

@@ -1,0 +1,129 @@
+// Spatial region planning for intra-trial parallelism.
+//
+// RegionPartition tiles the bounding box of a set of anchor points (network
+// centroids, or any per-assignment-unit representative) into a small square
+// grid and numbers the non-empty tiles as dense regions. The tile edge is
+// floored at the influence radius so one region rarely needs mirroring onto
+// more than its ring of neighbours, and the grid is capped at max_side per
+// axis so the region count — and with it the per-window barrier cost — stays
+// bounded no matter how large the deployment grows.
+//
+// Everything here is a pure function of the anchor geometry: the partition
+// never sees the worker count, which is one half of the determinism contract
+// (the other half is the executor's fixed message-merge order — see
+// docs/parallel_trial.md).
+//
+// Delivery ("which regions can a transmission at P touch?") is answered
+// against per-region axis-aligned bounding boxes grown over the *actual*
+// member positions, not the assignment tiles: an assignment unit may own
+// nodes outside its anchor's tile, and the AABB test stays conservative
+// regardless.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "phy/geometry.hpp"
+
+namespace nomc::phy {
+
+/// Axis-aligned bounding box over member positions; empty until grown.
+struct Aabb {
+  Vec2 lo{0.0, 0.0};
+  Vec2 hi{0.0, 0.0};
+  bool empty = true;
+
+  void grow(Vec2 p) {
+    if (empty) {
+      lo = hi = p;
+      empty = false;
+      return;
+    }
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  /// Conservative disc test: does the disc of `radius` around `center`
+  /// intersect this box?
+  [[nodiscard]] bool intersects_disc(Vec2 center, double radius) const {
+    if (empty) return false;
+    const double cx = std::clamp(center.x, lo.x, hi.x);
+    const double cy = std::clamp(center.y, lo.y, hi.y);
+    return distance_sq({cx, cy}, center) <= radius * radius;
+  }
+};
+
+class RegionPartition {
+ public:
+  /// Plan a partition over `anchors`. `min_tile_m` floors the tile edge
+  /// (pass the influence radius); `max_side` caps the grid per axis.
+  /// With fewer than two anchors, or a degenerate extent, everything lands
+  /// in one region.
+  [[nodiscard]] static RegionPartition plan(std::span<const Vec2> anchors, double min_tile_m,
+                                            int max_side) {
+    RegionPartition part;
+    if (anchors.size() < 2 || max_side <= 1) {
+      part.regions_ = anchors.empty() ? 0 : 1;
+      part.region_of_tile_.assign(1, part.regions_ == 1 ? 0 : -1);
+      return part;
+    }
+    Aabb box;
+    for (const Vec2 p : anchors) box.grow(p);
+    part.origin_ = box.lo;
+    const double span = std::max(box.hi.x - box.lo.x, box.hi.y - box.lo.y);
+    part.tile_ = std::max({min_tile_m, span / max_side, 1e-9});
+    part.cols_ = side_count(box.hi.x - box.lo.x, part.tile_, max_side);
+    part.rows_ = side_count(box.hi.y - box.lo.y, part.tile_, max_side);
+    part.region_of_tile_.assign(
+        static_cast<std::size_t>(part.cols_) * static_cast<std::size_t>(part.rows_), -1);
+    // Dense region ids in row-major tile-scan order of first occupancy is
+    // NOT deterministic under anchor reordering; number tiles in row-major
+    // order after marking, so the mapping depends only on the geometry.
+    for (const Vec2 p : anchors) part.region_of_tile_[part.tile_of(p)] = 0;
+    int next = 0;
+    for (int& r : part.region_of_tile_) {
+      if (r == 0) r = next++;
+    }
+    part.regions_ = next;
+    return part;
+  }
+
+  [[nodiscard]] int region_count() const { return regions_; }
+
+  /// Region owning `p`. `p` must lie in (or at least clamp into) an occupied
+  /// tile — true for every anchor passed to plan().
+  [[nodiscard]] int region_of(Vec2 p) const {
+    const int region = region_of_tile_[tile_of(p)];
+    assert(region >= 0 && "position does not map to an occupied tile");
+    return region;
+  }
+
+ private:
+  [[nodiscard]] static int side_count(double extent, double tile, int max_side) {
+    const int n = static_cast<int>(std::floor(extent / tile)) + 1;
+    return std::clamp(n, 1, max_side);
+  }
+
+  [[nodiscard]] std::size_t tile_of(Vec2 p) const {
+    const int cx = std::clamp(static_cast<int>(std::floor((p.x - origin_.x) / tile_)), 0,
+                              cols_ - 1);
+    const int cy = std::clamp(static_cast<int>(std::floor((p.y - origin_.y) / tile_)), 0,
+                              rows_ - 1);
+    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(cx);
+  }
+
+  Vec2 origin_{0.0, 0.0};
+  double tile_ = 1.0;
+  int cols_ = 1;
+  int rows_ = 1;
+  std::vector<int> region_of_tile_;
+  int regions_ = 0;
+};
+
+}  // namespace nomc::phy

@@ -1,0 +1,135 @@
+#include "sim/region_executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/parallel.hpp"
+
+namespace nomc::sim {
+
+RegionExecutor::RegionExecutor(RegionExecutorConfig config) : config_{config} {}
+
+RegionExecutor::~RegionExecutor() = default;
+
+int RegionExecutor::add_shard(Scheduler* scheduler) {
+  assert(scheduler != nullptr);
+  assert(!in_window_ && "cannot add shards mid-window");
+  shards_.push_back(scheduler);
+  outboxes_.emplace_back();
+  next_seq_.push_back(0);
+  return static_cast<int>(shards_.size()) - 1;
+}
+
+bool RegionExecutor::later(const Message& a, const Message& b) {
+  if (a.at != b.at) return a.at > b.at;
+  if (a.origin != b.origin) return a.origin > b.origin;
+  return a.seq > b.seq;
+}
+
+void RegionExecutor::post(int origin, int target, SimTime at, EventFn fn) {
+  assert(origin >= 0 && origin < shard_count());
+  assert(target >= 0 && target < shard_count());
+  if (shard_count() == 1) {
+    // Single region: no windows, no barriers — schedule straight into the
+    // one shard at commit time, exactly like the serial path.
+    shards_[0]->schedule_at(at, std::move(fn));
+    return;
+  }
+  Message msg{at, static_cast<std::uint32_t>(origin),
+              next_seq_[static_cast<std::size_t>(origin)]++,
+              static_cast<std::uint32_t>(target), std::move(fn)};
+  if (in_window_) {
+    // Posted from inside a window by the worker driving `origin`: the
+    // message may not land inside the window still being executed, or a
+    // shard that already passed its timestamp would miss it.
+    if (at < window_end_) {
+      throw std::logic_error(
+          "RegionExecutor::post: message timestamp precedes the current "
+          "window end — conservative lookahead violated");
+    }
+    outboxes_[static_cast<std::size_t>(origin)].push_back(std::move(msg));
+    return;
+  }
+  if (at < now_) {
+    throw std::logic_error("RegionExecutor::post: message timestamp in the past");
+  }
+  pending_.push_back(std::move(msg));
+  std::push_heap(pending_.begin(), pending_.end(), later);
+}
+
+void RegionExecutor::deliver(SimTime horizon, bool inclusive) {
+  while (!pending_.empty()) {
+    const Message& top = pending_.front();
+    if (top.at > horizon || (top.at == horizon && !inclusive)) break;
+    std::pop_heap(pending_.begin(), pending_.end(), later);
+    Message msg = std::move(pending_.back());
+    pending_.pop_back();
+    shards_[msg.target]->schedule_at(msg.at, std::move(msg.fn));
+    ++delivered_;
+  }
+}
+
+void RegionExecutor::collect_outboxes() {
+  for (std::vector<Message>& outbox : outboxes_) {
+    for (Message& msg : outbox) {
+      pending_.push_back(std::move(msg));
+      std::push_heap(pending_.begin(), pending_.end(), later);
+    }
+    outbox.clear();
+  }
+}
+
+void RegionExecutor::dispatch(SimTime horizon) {
+  if (runner_ == nullptr) runner_ = std::make_unique<ParallelRunner>(config_.workers);
+  window_end_ = horizon;
+  in_window_ = true;
+  // for_each is a barrier: it returns only when every shard reached the
+  // horizon, and the pool's handoff gives the coordinator a happens-before
+  // edge over each worker's outbox writes.
+  runner_->for_each(shard_count(), [&](int s) {
+    shards_[static_cast<std::size_t>(s)]->run_until(horizon);
+  });
+  in_window_ = false;
+  ++windows_;
+  collect_outboxes();
+}
+
+std::uint64_t RegionExecutor::executed() const {
+  std::uint64_t total = 0;
+  for (const Scheduler* shard : shards_) total += shard->executed();
+  return total;
+}
+
+void RegionExecutor::run_until(SimTime end) {
+  assert(!in_window_);
+  if (shard_count() <= 1) {
+    if (shard_count() == 1) shards_[0]->run_until(end);
+    if (now_ < end) now_ = end;
+    return;
+  }
+  if (config_.lookahead <= SimTime::zero()) {
+    throw std::logic_error("RegionExecutor: lookahead must be positive with >1 shard");
+  }
+  while (now_ < end) {
+    SimTime horizon = now_ + config_.lookahead;
+    if (horizon > end) horizon = end;
+    // Messages stamped exactly at the horizon wait one more window: the
+    // window about to run executes local events *at* the horizon, and a
+    // message merged later must sort after them, not race them.
+    deliver(horizon, /*inclusive=*/false);
+    dispatch(horizon);
+    now_ = horizon;
+  }
+  // Horizon flush: run_until is end-inclusive, so messages stamped exactly
+  // `end` (committed one lookahead before it) must still fire. Anything they
+  // post in turn lands strictly beyond `end` and waits for the next call.
+  if (!pending_.empty() && pending_.front().at <= end) {
+    deliver(end, /*inclusive=*/true);
+    dispatch(end);
+    assert(pending_.empty() || pending_.front().at > end);
+  }
+}
+
+}  // namespace nomc::sim

@@ -1,0 +1,119 @@
+// Conservative parallel discrete-event executor for one trial.
+//
+// The executor advances a set of scheduler *shards* (one per spatial region)
+// in bounded time windows of length `lookahead`. Within a window every shard
+// runs independently — on a ParallelRunner worker — because the model
+// guarantees that nothing a shard does inside the window can affect another
+// shard until at least `lookahead` later: every cross-shard interaction is
+// an explicit message posted through post() with a timestamp at or beyond
+// the window's end (enforced, not assumed — a violating post throws).
+//
+// Window/barrier protocol (derivation in docs/parallel_trial.md):
+//   1. deliver every pending cross-shard message with time < window end, in
+//      ascending (time, origin shard, origin sequence) order, by scheduling
+//      it on its target shard;
+//   2. run all shards to the window end in parallel (Scheduler::run_until is
+//      end-inclusive, so a window covers (start, end]);
+//   3. collect the messages each shard posted during the window, in shard
+//      index order, and merge them into the pending set.
+// Step 1's fixed merge order is what makes the outcome independent of the
+// worker count and of thread timing: messages are *produced* concurrently
+// but *applied* from a deterministic sequence. Per-shard RNG streams are the
+// caller's job (see ScenarioConfig::stream_base).
+//
+// With a single shard the executor degrades to plain Scheduler::run_until
+// and post() schedules directly — byte-identical to the serial path, which
+// keeps the golden stores the oracle for the whole machinery.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_fn.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace nomc::sim {
+
+class ParallelRunner;
+
+struct RegionExecutorConfig {
+  /// Window length == conservative lookahead: the minimum delay between a
+  /// cross-shard message being posted and its timestamp. For the 802.15.4
+  /// stack this is the rx/tx turnaround (192 us): a CCA-clear commit
+  /// precedes its frame's air time by exactly that much.
+  SimTime lookahead = SimTime::zero();
+  /// Worker threads, resolve_jobs() semantics (0 = hardware concurrency).
+  /// Affects wall-clock only — results are identical at any value.
+  int workers = 1;
+};
+
+class RegionExecutor {
+ public:
+  explicit RegionExecutor(RegionExecutorConfig config);
+  ~RegionExecutor();
+  RegionExecutor(const RegionExecutor&) = delete;
+  RegionExecutor& operator=(const RegionExecutor&) = delete;
+
+  /// Register a shard scheduler (not owned; must start at time zero and only
+  /// ever be advanced through this executor). Returns the shard index used
+  /// as post()'s origin/target.
+  int add_shard(Scheduler* scheduler);
+  [[nodiscard]] int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  /// Post `fn` to run on shard `target` at absolute time `at`. Callable from
+  /// inside a window (from the worker running shard `origin` — each outbox
+  /// is single-writer) or between windows from the coordinating thread.
+  /// Inside a window `at` must be at or beyond the window's end; that is the
+  /// conservative-lookahead contract, and violating it throws
+  /// std::logic_error instead of silently corrupting causality.
+  void post(int origin, int target, SimTime at, EventFn fn);
+
+  /// Advance every shard to `end` (inclusive, like Scheduler::run_until).
+  /// Callable repeatedly with increasing horizons.
+  void run_until(SimTime end);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime lookahead() const { return config_.lookahead; }
+  /// Total events executed across all shards (telemetry).
+  [[nodiscard]] std::uint64_t executed() const;
+  /// Barrier windows completed and cross-shard messages delivered so far.
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  struct Message {
+    SimTime at;
+    std::uint32_t origin = 0;
+    std::uint64_t seq = 0;  ///< per-origin posting sequence: fixes ties
+    std::uint32_t target = 0;
+    EventFn fn;
+  };
+
+  /// True when `a` should be delivered after `b` (min-heap comparator).
+  [[nodiscard]] static bool later(const Message& a, const Message& b);
+
+  /// Pop every pending message with time < horizon (<= when `inclusive`)
+  /// and schedule it on its target shard. Heap order == (time, origin, seq).
+  void deliver(SimTime horizon, bool inclusive);
+  /// Merge window outboxes into the pending heap, shard order.
+  void collect_outboxes();
+  /// Run every shard to `horizon` on the worker pool.
+  void dispatch(SimTime horizon);
+
+  RegionExecutorConfig config_;
+  std::vector<Scheduler*> shards_;
+  std::vector<std::vector<Message>> outboxes_;  ///< per-origin, single-writer
+  std::vector<std::uint64_t> next_seq_;         ///< per-origin posting counter
+  std::vector<Message> pending_;                ///< min-heap (std::*_heap)
+  std::unique_ptr<ParallelRunner> runner_;      ///< created on first dispatch
+
+  SimTime now_ = SimTime::zero();
+  SimTime window_end_ = SimTime::zero();
+  bool in_window_ = false;
+  std::uint64_t windows_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace nomc::sim

@@ -321,6 +321,10 @@ TEST(Checkpointer, ConcurrentSubmittersSerializeInSlotOrder) {
   CheckpointerFixture fx{"ckpt_mt.jsonl"};
   OrderedCheckpointer checkpointer{fx.store, fx.timing, 2};
   constexpr int kSlots = 8;
+  // Real threads on purpose: this test races submitters against the
+  // checkpointer's blocking bound, which ParallelRunner's ordered index
+  // hand-out cannot express.
+  // nomc-lint: allow(det-raw-thread)
   std::vector<std::thread> threads;
   threads.reserve(kSlots);
   for (int slot = kSlots - 1; slot >= 0; --slot) {
@@ -329,6 +333,7 @@ TEST(Checkpointer, ConcurrentSubmittersSerializeInSlotOrder) {
                                       "t" + std::to_string(slot), ""));
     });
   }
+  // nomc-lint: allow(det-raw-thread)
   for (std::thread& thread : threads) thread.join();
   std::string error;
   EXPECT_TRUE(checkpointer.finish(error)) << error;

@@ -1,0 +1,16 @@
+// Fixture for lint_tests: det-raw-thread violations. This file is test data
+// — it is never compiled or linted as part of the repo walk.
+#include <future>
+#include <thread>
+
+int fixture_threads() {
+  std::thread worker{[] {}};
+  auto task = std::async(std::launch::async, [] { return 1; });
+  std::jthread helper{[] {}};
+  // nomc-lint: allow(det-raw-thread)
+  std::thread allowed{[] {}};
+  const unsigned cores = std::thread::hardware_concurrency();  // legal query
+  worker.join();
+  allowed.join();
+  return task.get() + static_cast<int>(cores);
+}

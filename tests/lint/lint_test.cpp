@@ -124,6 +124,29 @@ TEST(LintRules, DetRandExemptInSimRandom) {
   EXPECT_TRUE(diagnostics.empty());
 }
 
+TEST(LintRules, DetRawThreadFiresAndSuppresses) {
+  const std::vector<Finding> findings = lint_fixture("det_thread.cpp");
+  const auto active = fired(findings, /*suppressed=*/false);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"det-raw-thread", 7},  // std::thread
+      {"det-raw-thread", 8},  // std::async
+      {"det-raw-thread", 9},  // std::jthread
+  };
+  EXPECT_EQ(active, expected);
+  const auto muted = fired(findings, /*suppressed=*/true);
+  ASSERT_EQ(muted.size(), 1u);
+  EXPECT_EQ(muted[0], (std::pair<std::string, int>{"det-raw-thread", 11}));
+}
+
+TEST(LintRules, DetRawThreadExemptInRunners) {
+  for (const char* path : {"src/sim/parallel.cpp", "src/sim/region_executor.cpp"}) {
+    const SourceFile file = scan_source(path, "std::thread t{[] {}};\n");
+    std::vector<Diagnostic> diagnostics;
+    run_cpp_rules(file, diagnostics);
+    EXPECT_TRUE(diagnostics.empty()) << path;
+  }
+}
+
 TEST(LintRules, DetUnorderedOutput) {
   const std::vector<Finding> findings = lint_fixture("det_unordered.cpp");
   const auto active = fired(findings, false);

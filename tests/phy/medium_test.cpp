@@ -195,7 +195,7 @@ TEST(Medium, ListenersSeePreMutationState) {
   Medium medium{quiet_config()};
   const NodeId tx = medium.add_node({0.0, 0.0});
   RecordingListener listener{medium};
-  medium.add_listener(&listener);
+  medium.add_listener(&listener, tx);
 
   const Frame frame = make_frame(medium, tx, Mhz{2460.0});
   medium.begin_tx(frame);   // listener sees 0 active (not yet inserted)

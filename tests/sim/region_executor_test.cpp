@@ -1,0 +1,160 @@
+// RegionExecutor twin-run determinism: the same sharded workload must
+// produce a byte-identical event log at every worker count — the property
+// the whole intra-trial parallelism design stands on — plus the protocol
+// edges: the lookahead contract is enforced, a single shard degrades to the
+// serial scheduler, and messages stamped exactly at the run horizon fire.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/region_executor.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace nomc {
+namespace {
+
+constexpr sim::SimTime kLookahead = sim::SimTime::microseconds(192);
+
+/// A deterministic multi-shard workload exercising local events, cross-shard
+/// messages at the minimum legal delay, and heavy mid-window cancellation.
+/// Each shard appends only to its own log (single-writer, like a Medium), so
+/// the concatenated logs are the run's full event trace.
+class World {
+ public:
+  World(int shards, int workers)
+      : executor_{{.lookahead = kLookahead, .workers = workers}} {
+    logs_.resize(static_cast<std::size_t>(shards));
+    victims_.resize(static_cast<std::size_t>(shards), sim::kInvalidEventId);
+    for (int s = 0; s < shards; ++s) {
+      schedulers_.push_back(std::make_unique<sim::Scheduler>());
+      executor_.add_shard(schedulers_.back().get());
+    }
+    for (int s = 0; s < shards; ++s) tick(s, 0);
+  }
+
+  void run(sim::SimTime end) { executor_.run_until(end); }
+
+  [[nodiscard]] std::vector<std::string> log() const {
+    std::vector<std::string> merged;
+    for (const auto& shard_log : logs_) {
+      merged.insert(merged.end(), shard_log.begin(), shard_log.end());
+    }
+    return merged;
+  }
+
+  [[nodiscard]] sim::RegionExecutor& executor() { return executor_; }
+
+ private:
+  void note(int shard, const std::string& what) {
+    logs_[static_cast<std::size_t>(shard)].push_back(
+        std::to_string(schedulers_[static_cast<std::size_t>(shard)]->now().ticks()) + " s" +
+        std::to_string(shard) + " " + what);
+  }
+
+  /// One local step every 50 us: log, schedule a victim event 30 us out and
+  /// cancel it on odd steps (cancel-heavy: half the schedule volume dies
+  /// mid-window), and every third step send a message to the next shard at
+  /// the minimum legal cross-shard delay.
+  void tick(int shard, int step) {
+    sim::Scheduler& sched = *schedulers_[static_cast<std::size_t>(shard)];
+    const auto idx = static_cast<std::size_t>(shard);
+    sched.schedule_at(sim::SimTime::microseconds(50) * step, [this, shard, step, idx] {
+      note(shard, "tick " + std::to_string(step));
+      sim::Scheduler& local = *schedulers_[idx];
+      // A victim from a previous step may still be pending; cancel it too,
+      // so cancellations also cross window boundaries.
+      if (step % 5 == 2) local.cancel(victims_[idx]);
+      victims_[idx] = local.schedule_in(sim::SimTime::microseconds(30), [this, shard, step] {
+        note(shard, "victim " + std::to_string(step));
+      });
+      if (step % 2 == 1) local.cancel(victims_[idx]);
+      if (step % 3 == 0) {
+        const int target = (shard + 1) % executor_.shard_count();
+        executor_.post(shard, target, local.now() + kLookahead,
+                       [this, target, shard, step] {
+                         note(target, "msg from s" + std::to_string(shard) + " step " +
+                                          std::to_string(step));
+                       });
+      }
+      tick(shard, step + 1);
+    });
+  }
+
+  sim::RegionExecutor executor_;
+  std::vector<std::unique_ptr<sim::Scheduler>> schedulers_;
+  std::vector<std::vector<std::string>> logs_;
+  std::vector<sim::EventId> victims_;
+};
+
+std::vector<std::string> run_world(int shards, int workers) {
+  World world{shards, workers};
+  world.run(sim::SimTime::milliseconds(20));
+  return world.log();
+}
+
+TEST(RegionExecutor, ByteIdenticalLogAcrossWorkerCounts) {
+  const std::vector<std::string> serial = run_world(3, 1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run_world(3, 2));
+  EXPECT_EQ(serial, run_world(3, 7));
+}
+
+TEST(RegionExecutor, ManyShardsStillDeterministic) {
+  EXPECT_EQ(run_world(7, 1), run_world(7, 7));
+}
+
+TEST(RegionExecutor, SingleShardMatchesPlainScheduler) {
+  // The executor path with one shard and the bare scheduler must execute the
+  // same events: the degradation the golden-store argument relies on.
+  World world{1, 4};
+  world.run(sim::SimTime::milliseconds(5));
+  World plain{1, 1};
+  plain.run(sim::SimTime::milliseconds(5));
+  EXPECT_EQ(world.log(), plain.log());
+}
+
+TEST(RegionExecutor, InWindowPostBelowLookaheadThrows) {
+  sim::Scheduler a;
+  sim::Scheduler b;
+  sim::RegionExecutor executor{{.lookahead = kLookahead, .workers = 1}};
+  executor.add_shard(&a);
+  executor.add_shard(&b);
+  a.schedule_at(sim::SimTime::microseconds(10), [&] {
+    // 10 us < the 192 us lookahead: delivering this would require a message
+    // to land inside the very window that produced it.
+    executor.post(0, 1, a.now() + sim::SimTime::microseconds(10), [] {});
+  });
+  EXPECT_THROW(executor.run_until(sim::SimTime::milliseconds(1)), std::logic_error);
+}
+
+TEST(RegionExecutor, MessageAtExactHorizonFires) {
+  sim::Scheduler a;
+  sim::Scheduler b;
+  sim::RegionExecutor executor{{.lookahead = kLookahead, .workers = 1}};
+  executor.add_shard(&a);
+  executor.add_shard(&b);
+  const sim::SimTime end = sim::SimTime::microseconds(500);
+  bool fired = false;
+  // Posted between windows, stamped exactly at the run horizon: run_until is
+  // end-inclusive, so the flush pass must deliver it.
+  executor.post(0, 1, end, [&fired] { fired = true; });
+  executor.run_until(end);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(executor.messages_delivered(), 1u);
+}
+
+TEST(RegionExecutor, ZeroLookaheadWithMultipleShardsThrows) {
+  sim::Scheduler a;
+  sim::Scheduler b;
+  sim::RegionExecutor executor{{.lookahead = sim::SimTime::zero(), .workers = 2}};
+  executor.add_shard(&a);
+  executor.add_shard(&b);
+  EXPECT_THROW(executor.run_until(sim::SimTime::microseconds(1)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nomc
