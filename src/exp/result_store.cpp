@@ -432,7 +432,10 @@ bool OrderedCheckpointer::finish(std::string& error) {
 
 std::string csv_header(const std::vector<std::string>& sweep_keys) {
   std::string header = "campaign,point";
-  for (const std::string& key : sweep_keys) header += "," + csv_escape(key);
+  for (const std::string& key : sweep_keys) {
+    header += ',';
+    header += csv_escape(key);
+  }
   header += ",network,pps,prr,backoffs_per_s,drops_per_s,overall_pps,jain\n";
   return header;
 }
@@ -448,44 +451,60 @@ std::string csv_escape(const std::string& field) {
   return quoted;
 }
 
-bool export_csv(const std::vector<ResultRecord>& records, std::FILE* out) {
+void csv_collect_sweep_keys(const ResultRecord& record, std::vector<std::string>& keys) {
   // Union of swept keys, in first-seen order, so mixed records still line up.
-  std::vector<std::string> sweep_keys;
-  for (const ResultRecord& record : records) {
-    for (const auto& [key, value] : record.sweep) {
-      bool known = false;
-      for (const std::string& existing : sweep_keys) known |= existing == key;
-      if (!known) sweep_keys.push_back(key);
-    }
+  for (const auto& [key, value] : record.sweep) {
+    bool known = false;
+    for (const std::string& existing : keys) known |= existing == key;
+    if (!known) keys.push_back(key);
   }
+}
+
+std::vector<std::string> csv_record_rows(const ResultRecord& record,
+                                         const std::vector<std::string>& sweep_keys) {
+  std::vector<std::string> rows;
+  rows.reserve(record.pps.size());
+  for (std::size_t n = 0; n < record.pps.size(); ++n) {
+    std::string row = csv_escape(record.campaign);
+    row += ',';
+    row += std::to_string(record.point);
+    for (const std::string& key : sweep_keys) {
+      row += ',';
+      for (const auto& [sweep_key, value] : record.sweep) {
+        if (sweep_key == key) {
+          row += csv_escape(value);
+          break;
+        }
+      }
+    }
+    row += ',';
+    row += std::to_string(n);
+    row += ',';
+    json_append_double(row, record.pps[n]);
+    row += ',';
+    json_append_double(row, n < record.prr.size() ? record.prr[n] : 0.0);
+    row += ',';
+    json_append_double(row, n < record.backoffs_per_s.size() ? record.backoffs_per_s[n] : 0.0);
+    row += ',';
+    json_append_double(row, n < record.drops_per_s.size() ? record.drops_per_s[n] : 0.0);
+    row += ',';
+    json_append_double(row, record.overall_pps);
+    row += ',';
+    json_append_double(row, record.jain);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+bool export_csv(const std::vector<ResultRecord>& records, std::FILE* out) {
+  std::vector<std::string> sweep_keys;
+  for (const ResultRecord& record : records) csv_collect_sweep_keys(record, sweep_keys);
 
   const std::string header = csv_header(sweep_keys);
   if (std::fwrite(header.data(), 1, header.size(), out) != header.size()) return false;
 
   for (const ResultRecord& record : records) {
-    for (std::size_t n = 0; n < record.pps.size(); ++n) {
-      std::string row = csv_escape(record.campaign) + "," + std::to_string(record.point);
-      for (const std::string& key : sweep_keys) {
-        row += ',';
-        for (const auto& [sweep_key, value] : record.sweep) {
-          if (sweep_key == key) {
-            row += csv_escape(value);
-            break;
-          }
-        }
-      }
-      row += "," + std::to_string(n) + ",";
-      json_append_double(row, record.pps[n]);
-      row += ',';
-      json_append_double(row, n < record.prr.size() ? record.prr[n] : 0.0);
-      row += ',';
-      json_append_double(row, n < record.backoffs_per_s.size() ? record.backoffs_per_s[n] : 0.0);
-      row += ',';
-      json_append_double(row, n < record.drops_per_s.size() ? record.drops_per_s[n] : 0.0);
-      row += ',';
-      json_append_double(row, record.overall_pps);
-      row += ',';
-      json_append_double(row, record.jain);
+    for (std::string& row : csv_record_rows(record, sweep_keys)) {
       row += '\n';
       if (std::fwrite(row.data(), 1, row.size(), out) != row.size()) return false;
     }

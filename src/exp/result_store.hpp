@@ -155,7 +155,21 @@ class OrderedCheckpointer {
 
 /// Long-format CSV: one row per (point, network), sweep assignments as
 /// leading columns. Plot-friendly (pandas/R) without JSON tooling.
+/// Materializes nothing beyond the caller's `records`; the streaming path
+/// over a store on disk is exp::export_csv_indexed (store_index.hpp), which
+/// emits byte-identical output one record at a time.
 bool export_csv(const std::vector<ResultRecord>& records, std::FILE* out);
+
+/// Append `record`'s swept keys to `keys` in first-seen order (no
+/// duplicates). Folding every record of a store through this yields the
+/// sweep-key columns export_csv uses, without holding the records.
+void csv_collect_sweep_keys(const ResultRecord& record, std::vector<std::string>& keys);
+
+/// The export_csv data rows for one record — one string per network, no
+/// trailing newline — against the given sweep-key columns. export_csv and
+/// the streaming exporter share this, so their bytes cannot diverge.
+[[nodiscard]] std::vector<std::string> csv_record_rows(
+    const ResultRecord& record, const std::vector<std::string>& sweep_keys);
 
 /// The export_csv header for the given sweep-key columns. The fixed columns
 /// and their order are a pinned public schema (tests/exp/store_test.cpp):

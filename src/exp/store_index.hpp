@@ -1,0 +1,109 @@
+// StoreIndex: a "<store>.idx" sidecar mapping (spec_hash, point) to the byte
+// offset of that record's line in the JSONL result store, so lookups, cache
+// probes, and exports are O(1) seeks instead of full-file re-parses.
+//
+// Sidecar format (text, one line per record, in store byte order):
+//
+//   nomc-idx 1
+//   <spec_hash> <point> <offset> <length>
+//
+// `length` includes the record's trailing newline, so coverage is contiguous
+// from byte 0: entry i+1 starts exactly where entry i ends. The last entry's
+// end is the "covered" byte count.
+//
+// Crash-tolerance contract (same shape as the ".timing" sidecar): the index
+// is derived data and the JSONL store stays the source of truth. On open,
+// a missing, torn, stale, or otherwise implausible sidecar is rebuilt from
+// the store — a torn final line is dropped, any deeper inconsistency
+// (non-contiguous coverage, coverage past EOF, a spot-checked entry that no
+// longer matches its bytes) discards the whole sidecar. New records that the
+// store gained since the sidecar was written are indexed by scanning only
+// the uncovered tail, and the reconciled sidecar is persisted back.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exp/result_store.hpp"
+
+namespace nomc::exp {
+
+inline constexpr int kIndexVersion = 1;
+
+class StoreIndex {
+ public:
+  struct Entry {
+    std::string spec_hash;
+    int point = -1;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;  ///< record bytes including the trailing '\n'
+  };
+
+  StoreIndex() = default;
+  ~StoreIndex();
+  StoreIndex(const StoreIndex&) = delete;
+  StoreIndex& operator=(const StoreIndex&) = delete;
+
+  /// Open the index for `store_path`, reconciling the ".idx" sidecar with
+  /// the store (see the crash-tolerance contract above). When
+  /// `expected_hash` is non-empty every record must carry it. Returns false
+  /// and fills `error` on a missing/unreadable store, an unparsable
+  /// non-final store line, or a sidecar write failure.
+  bool open(const std::string& store_path, const std::string& expected_hash,
+            std::string& error);
+  void close();
+
+  /// Entries in store byte order (== point completion order on disk).
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// O(1) lookup; nullptr when the (spec_hash, point) pair is not stored.
+  [[nodiscard]] const Entry* find(const std::string& spec_hash, int point) const;
+  [[nodiscard]] bool contains(const std::string& spec_hash, int point) const {
+    return find(spec_hash, point) != nullptr;
+  }
+
+  /// Bytes of the store covered by the index (everything before any torn
+  /// trailing line).
+  [[nodiscard]] std::uint64_t covered() const { return covered_; }
+  /// True when the store ended in a torn (killed mid-write) line that was
+  /// left unindexed.
+  [[nodiscard]] bool truncated_tail() const { return truncated_tail_; }
+
+  /// Read the verbatim record line at `entry` (no trailing newline) with a
+  /// single seek — never a full-file parse.
+  bool read_line(const Entry& entry, std::string& line, std::string& error) const;
+  /// read_line + parse_record.
+  bool read_record(const Entry& entry, ResultRecord& out, std::string& error) const;
+
+  /// The sidecar path for a store: "<store_path>.idx".
+  [[nodiscard]] static std::string index_path(const std::string& store_path);
+
+ private:
+  [[nodiscard]] static std::string key(const std::string& spec_hash, int point);
+
+  std::string store_path_;
+  std::FILE* store_file_ = nullptr;  // kept open for seek-reads
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> by_key_;  // key() -> entries_ slot
+  std::uint64_t covered_ = 0;
+  bool truncated_tail_ = false;
+};
+
+/// Stream the pinned long-format CSV (identical bytes to exp::export_csv on
+/// the same records) through `emit`, one line at a time with no trailing
+/// newline — header first, then one line per (record, network) — reading
+/// each record through the index instead of materializing the store.
+/// Two passes over the index (sweep-key union, then rows); memory stays
+/// O(one record). `emit` returning false aborts with an error.
+bool export_csv_lines(const StoreIndex& index,
+                      const std::function<bool(const std::string& line)>& emit,
+                      std::string& error);
+
+/// export_csv_lines straight to a stdio stream (the CLI path).
+bool export_csv_indexed(const StoreIndex& index, std::FILE* out, std::string& error);
+
+}  // namespace nomc::exp

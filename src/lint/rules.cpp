@@ -227,6 +227,38 @@ void check_det_raw_thread(const SourceFile& file, std::vector<Diagnostic>& out) 
   }
 }
 
+// ---- svc-raw-socket ------------------------------------------------------
+
+// Raw socket syscalls outside the sanctioned socket home. All connection
+// plumbing must flow through svc::Socket and the helpers in src/svc/ — one
+// place owns fd lifetimes, non-blocking setup, and EINTR handling, and the
+// rest of the tree talks sessions and byte buffers. Member calls like
+// client.connect(...) are legal: the rule targets the bare syscall shape
+// (`socket(`, `::bind(`, ...), not methods that happen to share a name.
+void check_svc_raw_socket(const SourceFile& file, std::vector<Diagnostic>& out) {
+  if (path_contains(file.path, "src/svc/")) return;
+  const auto& tokens = file.tokens;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdentifier) continue;
+    const std::string& name = tokens[i].text;
+    if (name != "socket" && name != "bind" && name != "listen" && name != "accept" &&
+        name != "connect") {
+      continue;
+    }
+    if (tokens[i + 1].text != "(") continue;
+    if (i > 0) {
+      const std::string& before = tokens[i - 1].text;
+      if (before == "." || before == "->") continue;  // member call on an object
+      if (before == "::" && i > 1 && tokens[i - 2].text == "std") continue;  // std::bind
+    }
+    report(out, file, tokens[i].line, tokens[i].col, "svc-raw-socket",
+           "raw " + name +
+               "() outside src/svc/ — route connections through svc::Socket "
+               "(src/svc/socket.hpp) so fd lifetimes and non-blocking setup "
+               "live in one place");
+  }
+}
+
 // ---- det-g-format --------------------------------------------------------
 
 void check_det_g_format(const SourceFile& file, std::vector<Diagnostic>& out) {
@@ -445,6 +477,7 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"det-unordered-output", "unordered-container iteration feeding an output path"},
       {"det-raw-thread", "raw std::thread/std::async outside the sanctioned runners"},
       {"det-g-format", "'g'-conversion float formatting outside the pinned store format"},
+      {"svc-raw-socket", "raw socket/bind/listen/accept/connect calls outside src/svc/"},
       {"unit-dbm-mw-mix", "+/- between dBm-named and mW-named quantities"},
       {"unit-naked-cca", "naked CCA-threshold literal outside the config headers"},
       {"hyg-pragma-once", "header missing #pragma once as its first directive"},
@@ -467,6 +500,7 @@ void run_cpp_rules(const SourceFile& file, std::vector<Diagnostic>& out) {
   check_det_time_seed(file, out);
   check_det_unordered_output(file, out);
   check_det_raw_thread(file, out);
+  check_svc_raw_socket(file, out);
   check_det_g_format(file, out);
   check_unit_dbm_mw_mix(file, out);
   check_unit_naked_cca(file, out);

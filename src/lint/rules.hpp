@@ -22,6 +22,13 @@
 //                         exp::result_store's pinned %.17g — shortest-round-
 //                         trip output elsewhere silently loses precision
 //
+// Service layering (the campaign service owns all connection plumbing):
+//   svc-raw-socket        bare socket()/bind()/listen()/accept()/connect()
+//                         calls outside src/svc/ — connections must go
+//                         through svc::Socket and the src/svc helpers so fd
+//                         lifetimes and non-blocking setup live in one place
+//                         (member calls like client.connect() stay legal)
+//
 // Unit safety (paper arithmetic: dBm is log scale, mW is linear):
 //   unit-dbm-mw-mix       + or - between an identifier named like a dBm
 //                         quantity and one named like milliwatts without a

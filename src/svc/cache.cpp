@@ -1,0 +1,91 @@
+#include "svc/cache.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+
+#include "exp/store_index.hpp"
+
+namespace nomc::svc {
+
+bool ResultCache::configure(const std::string& data_dir, std::string& error) {
+  if (::mkdir(data_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    error = "cannot create data directory " + data_dir + ": " + std::strerror(errno);
+    return false;
+  }
+  data_dir_ = data_dir;
+  return true;
+}
+
+std::string ResultCache::store_path(const std::string& spec_hash) const {
+  return data_dir_ + "/" + spec_hash + ".jsonl";
+}
+
+std::string ResultCache::spec_path(const std::string& spec_hash) const {
+  return data_dir_ + "/" + spec_hash + ".spec";
+}
+
+CampaignEntry* ResultCache::intern(const exp::CampaignSpec& spec, std::string& error) {
+  const std::string hash = exp::spec_hash(spec);
+  const auto it = entries_.find(hash);
+  if (it != entries_.end()) return &it->second;
+
+  // First sight: persist the canonical spec so a restarted server can keep
+  // answering for this campaign.
+  const std::string path = spec_path(hash);
+  if (std::FILE* probe_file = std::fopen(path.c_str(), "rb"); probe_file != nullptr) {
+    std::fclose(probe_file);
+  } else {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      error = "cannot write spec sidecar: " + path;
+      return nullptr;
+    }
+    const std::string text = exp::format_campaign(spec);
+    const bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
+                    std::fflush(file) == 0;
+    std::fclose(file);
+    if (!ok) {
+      error = "write to spec sidecar failed: " + path;
+      return nullptr;
+    }
+  }
+
+  CampaignEntry entry;
+  entry.spec = spec;
+  entry.spec_hash = hash;
+  entry.store_path = store_path(hash);
+  entry.points = static_cast<int>(exp::expand_grid(spec).size());
+  return &entries_.emplace(hash, std::move(entry)).first->second;
+}
+
+CampaignEntry* ResultCache::find(const std::string& spec_hash) {
+  const auto it = entries_.find(spec_hash);
+  if (it != entries_.end()) return &it->second;
+
+  exp::CampaignSpec spec;
+  exp::SpecError spec_error;
+  if (!exp::load_campaign(spec_path(spec_hash), spec, spec_error)) return nullptr;
+  if (exp::spec_hash(spec) != spec_hash) return nullptr;  // tampered sidecar
+  std::string error;
+  return intern(spec, error);
+}
+
+bool ResultCache::probe(const CampaignEntry& entry, int& present, std::string& error) {
+  present = 0;
+  if (std::FILE* file = std::fopen(entry.store_path.c_str(), "rb"); file == nullptr) {
+    return true;  // no store yet: nothing cached
+  } else {
+    std::fclose(file);
+  }
+  exp::StoreIndex index;
+  if (!index.open(entry.store_path, entry.spec_hash, error)) return false;
+  for (int point = 0; point < entry.points; ++point) {
+    if (index.contains(entry.spec_hash, point)) ++present;
+  }
+  return true;
+}
+
+}  // namespace nomc::svc

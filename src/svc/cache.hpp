@@ -1,0 +1,67 @@
+// ResultCache: the server-side registry of campaigns keyed by spec hash.
+//
+// Every submitted spec is canonicalized (exp::format_campaign) and hashed;
+// the hash names both files the server keeps per campaign under its data
+// directory:
+//
+//   <data_dir>/<spec_hash>.spec    canonical spec text (written on first
+//                                  submit, so a restarted server can answer
+//                                  status/query/export without a resubmit)
+//   <data_dir>/<spec_hash>.jsonl   the result store, written by the exact
+//                                  same exp::run_campaign machinery as a
+//                                  local `nomc-campaign run` — byte-identical
+//                                  by construction (plus its .timing and
+//                                  .idx sidecars)
+//
+// The cache itself stores no results: the JSONL stores are the cache, and
+// probe() asks the StoreIndex which grid points are already on disk. That is
+// what makes hits survive restarts and stay byte-exact.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "exp/spec.hpp"
+
+namespace nomc::svc {
+
+struct CampaignEntry {
+  exp::CampaignSpec spec;
+  std::string spec_hash;
+  std::string store_path;
+  int points = 0;  ///< grid size
+};
+
+class ResultCache {
+ public:
+  /// Set the data directory (created if missing). Must be called before any
+  /// other method.
+  bool configure(const std::string& data_dir, std::string& error);
+  [[nodiscard]] const std::string& data_dir() const { return data_dir_; }
+
+  /// Register (or fetch) the entry for a parsed spec, writing the canonical
+  /// spec sidecar on first sight. Returns nullptr and fills `error` on I/O
+  /// failure. The pointer stays valid until the cache is destroyed.
+  CampaignEntry* intern(const exp::CampaignSpec& spec, std::string& error);
+
+  /// Find by hash. After a restart this lazily reloads the
+  /// "<data_dir>/<hash>.spec" sidecar, so campaigns outlive the process.
+  /// nullptr when the hash was never submitted here.
+  CampaignEntry* find(const std::string& spec_hash);
+
+  /// Count the entry's grid points already present in its store (0 when the
+  /// store does not exist yet). Opens the StoreIndex, which also reconciles
+  /// the ".idx" sidecar.
+  bool probe(const CampaignEntry& entry, int& present, std::string& error);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] std::string store_path(const std::string& spec_hash) const;
+  [[nodiscard]] std::string spec_path(const std::string& spec_hash) const;
+
+ private:
+  std::string data_dir_;
+  std::map<std::string, CampaignEntry> entries_;  ///< spec_hash -> entry
+};
+
+}  // namespace nomc::svc

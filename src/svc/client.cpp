@@ -1,0 +1,51 @@
+#include "svc/client.hpp"
+
+namespace nomc::svc {
+
+bool Client::connect(const std::string& socket_path, std::string& error) {
+  close();
+  return connect_unix(socket_path, socket_, error);
+}
+
+void Client::close() {
+  socket_.close();
+  splitter_ = LineSplitter{kMaxLine};
+}
+
+bool Client::send_line(const std::string& line, std::string& error) {
+  if (!connected()) {
+    error = "client is not connected";
+    return false;
+  }
+  return write_all(socket_, line + "\n", error);
+}
+
+bool Client::recv_line(std::string& line, std::string& error) {
+  bool oversized = false;
+  while (true) {
+    if (splitter_.take(line, oversized)) {
+      if (oversized) {
+        error = "reply line exceeds " + std::to_string(kMaxLine) + " bytes";
+        return false;
+      }
+      return true;
+    }
+    std::string bytes;
+    bool closed = false;
+    if (!read_blocking(socket_, bytes, std::size_t{1} << 16, closed, error)) return false;
+    if (closed && bytes.empty()) {
+      error = "server closed the connection";
+      return false;
+    }
+    splitter_.feed(bytes);
+  }
+}
+
+bool Client::call(const std::string& request, exp::JsonValue& reply, std::string& error) {
+  if (!send_line(request, error)) return false;
+  std::string line;
+  if (!recv_line(line, error)) return false;
+  return parse_reply(line, reply, error);
+}
+
+}  // namespace nomc::svc

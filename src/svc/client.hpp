@@ -1,0 +1,38 @@
+// Blocking request/reply client for the campaign service. Lives in src/svc
+// (not tools/) because it is the sanctioned consumer of the socket layer —
+// the svc-raw-socket lint rule keeps socket calls out of tools/.
+#pragma once
+
+#include <string>
+
+#include "exp/result_store.hpp"
+#include "svc/protocol.hpp"
+#include "svc/socket.hpp"
+
+namespace nomc::svc {
+
+class Client {
+ public:
+  Client() = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a server listening at `socket_path`.
+  bool connect(const std::string& socket_path, std::string& error);
+  void close();
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+
+  /// Send one request line (newline appended here).
+  bool send_line(const std::string& line, std::string& error);
+  /// Receive the next reply line (newline stripped). Fails on EOF.
+  bool recv_line(std::string& line, std::string& error);
+
+  /// send_line + recv_line + parse_reply: one round trip.
+  bool call(const std::string& request, exp::JsonValue& reply, std::string& error);
+
+ private:
+  Socket socket_;
+  LineSplitter splitter_{kMaxLine};
+};
+
+}  // namespace nomc::svc

@@ -1,0 +1,312 @@
+#include "svc/server.hpp"
+
+#include <unistd.h>
+
+#include "exp/campaign.hpp"
+#include "exp/store_index.hpp"
+
+namespace nomc::svc {
+
+bool Server::open(const ServerConfig& config, std::string& error) {
+  close();
+  config_ = config;
+  if (!cache_.configure(config.data_dir, error)) return false;
+  if (!listen_unix(config.socket_path, listener_, error)) return false;
+  return true;
+}
+
+void Server::close() {
+  sessions_.clear();
+  if (listener_.valid()) {
+    listener_.close();
+    ::unlink(config_.socket_path.c_str());
+  }
+  shutdown_requested_ = false;
+  submissions_ = computed_ = cache_hits_ = 0;
+}
+
+bool Server::shutdown_complete() const {
+  if (!shutdown_requested_) return false;
+  for (const std::unique_ptr<Session>& session : sessions_) {
+    if (session->sent < session->outbox.size()) return false;  // reply in flight
+  }
+  return true;
+}
+
+bool Server::run(std::string& error) {
+  while (running()) {
+    if (!step(-1, error)) return false;
+  }
+  return true;
+}
+
+bool Server::step(int timeout_ms, std::string& error) {
+  if (!listener_.valid()) {
+    error = "server is not open";
+    return false;
+  }
+
+  std::vector<PollEntry> entries;
+  entries.reserve(sessions_.size() + 1);
+  PollEntry listen_entry;
+  listen_entry.fd = listener_.fd();
+  listen_entry.want_read = !shutdown_requested_;
+  entries.push_back(listen_entry);
+  for (const std::unique_ptr<Session>& session : sessions_) {
+    PollEntry entry;
+    entry.fd = session->socket.fd();
+    entry.want_read = !session->peer_closed;
+    entry.want_write = session->sent < session->outbox.size();
+    entries.push_back(entry);
+  }
+  if (!poll_sockets(entries, timeout_ms, error)) return false;
+
+  if (entries[0].readable) {
+    // Drain the accept queue.
+    while (true) {
+      Socket accepted;
+      bool got = false;
+      if (!accept_unix(listener_, accepted, got, error)) return false;
+      if (!got) break;
+      auto session = std::make_unique<Session>();
+      session->socket = std::move(accepted);
+      session->splitter = LineSplitter{config_.max_line};
+      sessions_.push_back(std::move(session));
+    }
+  }
+
+  // Read + execute. New sessions appended above had no poll slot; they are
+  // picked up next step.
+  const std::size_t polled = entries.size() - 1;
+  for (std::size_t i = 0; i < polled && i < sessions_.size(); ++i) {
+    Session& session = *sessions_[i];
+    const PollEntry& entry = entries[i + 1];
+    if (entry.broken) {
+      session.peer_closed = true;
+      session.outbox.clear();
+      session.sent = 0;
+      continue;
+    }
+    if (entry.readable && !session.peer_closed) {
+      bool closed = false;
+      bool would_block = false;
+      std::string bytes;
+      if (!read_available(session.socket, bytes, std::size_t{1} << 20, closed, would_block,
+                          error)) {
+        session.peer_closed = true;
+        session.outbox.clear();
+        session.sent = 0;
+        error.clear();  // a broken peer is not a server error
+        continue;
+      }
+      session.splitter.feed(bytes);
+      std::string line;
+      bool oversized = false;
+      while (session.splitter.take(line, oversized)) serve_line(session, line, oversized);
+      if (closed) session.peer_closed = true;
+    }
+    if (session.sent < session.outbox.size()) {
+      if (!write_some(session.socket, session.outbox, session.sent, error)) {
+        session.peer_closed = true;
+        session.outbox.clear();
+        session.sent = 0;
+        error.clear();
+      } else if (session.sent == session.outbox.size()) {
+        session.outbox.clear();
+        session.sent = 0;
+      }
+    }
+  }
+
+  // Drop sessions whose peer is gone and whose replies are flushed.
+  for (std::size_t i = 0; i < sessions_.size();) {
+    Session& session = *sessions_[i];
+    if (session.peer_closed && session.sent >= session.outbox.size()) {
+      sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return true;
+}
+
+void Server::reply(Session& session, const std::string& line) {
+  session.outbox += line;
+  session.outbox += '\n';
+}
+
+void Server::serve_line(Session& session, const std::string& line, bool oversized) {
+  if (oversized) {
+    reply(session, error_reply("request line exceeds " + std::to_string(config_.max_line) +
+                               " bytes"));
+    return;
+  }
+  if (line.empty()) return;  // blank keep-alive lines are ignored
+
+  Request request;
+  std::string error;
+  if (!parse_request(line, request, error)) {
+    reply(session, error_reply(error));
+    return;
+  }
+  if (request.op == "ping") {
+    reply(session, pong_reply());
+  } else if (request.op == "submit") {
+    handle_submit(session, request);
+  } else if (request.op == "status") {
+    handle_status(session, request);
+  } else if (request.op == "query") {
+    handle_query(session, request);
+  } else if (request.op == "export") {
+    handle_export(session, request);
+  } else if (request.op == "shutdown") {
+    reply(session, shutdown_reply());
+    shutdown_requested_ = true;
+  } else {
+    reply(session, error_reply("unknown op: " + request.op));
+  }
+}
+
+void Server::handle_submit(Session& session, const Request& request) {
+  if (request.spec.empty()) {
+    reply(session, error_reply("submit needs a \"spec\""));
+    return;
+  }
+  exp::CampaignSpec spec;
+  exp::SpecError spec_error;
+  if (!exp::parse_campaign(request.spec, spec, spec_error)) {
+    reply(session, error_reply("bad spec: " + spec_error.str()));
+    return;
+  }
+  std::string error;
+  CampaignEntry* entry = cache_.intern(spec, error);
+  if (entry == nullptr) {
+    reply(session, error_reply(error));
+    return;
+  }
+
+  // Cache probe: every grid point already on disk is a hit and is never
+  // re-simulated; only the gap goes through run_campaign (Resume keeps the
+  // existing records' bytes verbatim).
+  int present = 0;
+  if (!cache_.probe(*entry, present, error)) {
+    reply(session, error_reply(error));
+    return;
+  }
+  cache_hits_ += static_cast<std::uint64_t>(present);
+  if (present < entry->points) {
+    exp::CampaignOptions options;
+    options.jobs = config_.jobs;
+    options.point_jobs = config_.point_jobs;
+    options.trial_workers = config_.trial_workers;
+    options.mode = exp::CampaignOptions::Mode::kResume;
+    options.quiet = config_.quiet;
+    exp::CampaignStats stats;
+    if (!exp::run_campaign(entry->spec, entry->store_path, options, &stats, error)) {
+      reply(session, error_reply(error));
+      return;
+    }
+    computed_ += static_cast<std::uint64_t>(stats.computed);
+  }
+  ++submissions_;
+  // The reply is a pure function of the spec: clients racing on the same
+  // campaign read identical bytes whether their points were computed or
+  // served from cache (the split is visible in the status counters).
+  reply(session, submit_reply(entry->spec_hash, entry->spec.name, entry->points,
+                              entry->points));
+}
+
+void Server::handle_status(Session& session, const Request& request) {
+  StatusInfo info;
+  info.submissions = submissions_;
+  info.computed = computed_;
+  info.cache_hits = cache_hits_;
+  info.campaigns = cache_.size();
+  if (!request.spec_hash.empty()) {
+    CampaignEntry* entry = cache_.find(request.spec_hash);
+    if (entry == nullptr) {
+      reply(session, error_reply("unknown campaign: " + request.spec_hash));
+      return;
+    }
+    info.campaigns = cache_.size();  // find() may have lazy-loaded one
+    std::string error;
+    int present = 0;
+    if (!cache_.probe(*entry, present, error)) {
+      reply(session, error_reply(error));
+      return;
+    }
+    info.campaign = entry->spec.name;
+    info.spec_hash = entry->spec_hash;
+    info.points = entry->points;
+    info.done = present;
+  }
+  reply(session, status_reply(info));
+}
+
+void Server::handle_query(Session& session, const Request& request) {
+  if (request.spec_hash.empty() || !request.has_point) {
+    reply(session, error_reply("query needs \"spec_hash\" and \"point\""));
+    return;
+  }
+  CampaignEntry* entry = cache_.find(request.spec_hash);
+  if (entry == nullptr) {
+    reply(session, error_reply("unknown campaign: " + request.spec_hash));
+    return;
+  }
+  exp::StoreIndex index;
+  std::string error;
+  if (!index.open(entry->store_path, entry->spec_hash, error)) {
+    reply(session, error_reply(error));
+    return;
+  }
+  const exp::StoreIndex::Entry* record = index.find(request.spec_hash, request.point);
+  if (record == nullptr) {
+    reply(session, error_reply("point " + std::to_string(request.point) +
+                               " is not stored for " + request.spec_hash));
+    return;
+  }
+  std::string line;
+  if (!index.read_line(*record, line, error)) {
+    reply(session, error_reply(error));
+    return;
+  }
+  reply(session, query_reply(line));
+}
+
+void Server::handle_export(Session& session, const Request& request) {
+  if (request.spec_hash.empty()) {
+    reply(session, error_reply("export needs \"spec_hash\""));
+    return;
+  }
+  CampaignEntry* entry = cache_.find(request.spec_hash);
+  if (entry == nullptr) {
+    reply(session, error_reply("unknown campaign: " + request.spec_hash));
+    return;
+  }
+  exp::StoreIndex index;
+  std::string error;
+  if (!index.open(entry->store_path, entry->spec_hash, error)) {
+    reply(session, error_reply(error));
+    return;
+  }
+  // Stream record-by-record through the index; only the wire bytes are
+  // buffered (in the session outbox), never the parsed store.
+  std::uint64_t rows = 0;
+  bool first = true;
+  const bool ok = exp::export_csv_lines(
+      index,
+      [&](const std::string& csv_line) {
+        reply(session, export_row(csv_line));
+        if (!first) ++rows;  // the header line is not a data row
+        first = false;
+        return true;
+      },
+      error);
+  if (!ok) {
+    reply(session, error_reply(error));
+    return;
+  }
+  reply(session, export_done(rows));
+}
+
+}  // namespace nomc::svc

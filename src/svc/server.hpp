@@ -1,0 +1,101 @@
+// The campaign service: a single-process coordinator that accepts campaign
+// submissions from many clients over a Unix-domain socket, serves already
+// computed points from the spec-hash result cache, and runs only the missing
+// points — through the exact same exp::run_campaign machinery as a local
+// `nomc-campaign run`, so server-written stores are byte-identical to local
+// ones by construction.
+//
+// Concurrency model: one thread, poll-based. Sessions are multiplexed
+// non-blocking; a submit that needs simulation runs synchronously on the
+// server thread (the simulation itself still fans out via --jobs /
+// --point-jobs / --trial-workers inside run_campaign). Work therefore
+// executes in submit-arrival order — a deterministic queue, not a racy pool —
+// and two clients submitting the same spec get byte-identical replies with
+// the grid simulated exactly once.
+//
+// The loop is exposed as step() so tests and benchmarks can drive a server
+// in-process, single-threaded, without a background thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/cache.hpp"
+#include "svc/protocol.hpp"
+#include "svc/socket.hpp"
+
+namespace nomc::svc {
+
+struct ServerConfig {
+  std::string socket_path;  ///< Unix-domain socket to listen on
+  std::string data_dir;     ///< campaign stores + sidecars live here
+  int jobs = 1;             ///< trial threads per point (exp::CampaignOptions)
+  int point_jobs = 1;       ///< concurrent sweep points
+  int trial_workers = 1;    ///< region-sharded workers inside each trial
+  std::size_t max_line = kMaxLine;
+  bool quiet = true;        ///< suppress run_campaign progress lines
+};
+
+class Server {
+ public:
+  Server() = default;
+  ~Server() { close(); }
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket and prepare the data directory.
+  bool open(const ServerConfig& config, std::string& error);
+
+  /// One scheduler beat: wait up to `timeout_ms` (-1 = forever) for socket
+  /// events, then accept, read, execute requests, and flush replies.
+  /// Returns false only on a fatal server error.
+  bool step(int timeout_ms, std::string& error);
+
+  /// step() until a shutdown request has been served and flushed.
+  bool run(std::string& error);
+
+  void close();
+
+  /// False once a shutdown request has been fully served.
+  [[nodiscard]] bool running() const { return listener_.valid() && !shutdown_complete(); }
+  /// Open client connections (tests).
+  [[nodiscard]] std::size_t sessions() const { return sessions_.size(); }
+
+  // Lifetime counters, as reported in status replies.
+  [[nodiscard]] std::uint64_t submissions() const { return submissions_; }
+  [[nodiscard]] std::uint64_t computed() const { return computed_; }
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct Session {
+    Socket socket;
+    LineSplitter splitter;
+    std::string outbox;        // bytes not yet accepted by the kernel
+    std::size_t sent = 0;      // outbox prefix already written
+    bool peer_closed = false;  // EOF seen; drain outbox then drop
+  };
+
+  /// Execute one request line, appending reply line(s) to `session.outbox`.
+  void serve_line(Session& session, const std::string& line, bool oversized);
+  void reply(Session& session, const std::string& line);
+
+  void handle_submit(Session& session, const Request& request);
+  void handle_status(Session& session, const Request& request);
+  void handle_query(Session& session, const Request& request);
+  void handle_export(Session& session, const Request& request);
+
+  [[nodiscard]] bool shutdown_complete() const;
+
+  ServerConfig config_;
+  Socket listener_;
+  ResultCache cache_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  bool shutdown_requested_ = false;
+  std::uint64_t submissions_ = 0;
+  std::uint64_t computed_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace nomc::svc

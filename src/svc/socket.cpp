@@ -1,0 +1,225 @@
+#include "svc/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace nomc::svc {
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool set_nonblocking(int fd, std::string& error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    error = errno_text("fcntl(O_NONBLOCK)");
+    return false;
+  }
+  return true;
+}
+
+bool fill_address(const std::string& path, sockaddr_un& address, std::string& error) {
+  std::memset(&address, 0, sizeof address);
+  address.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof address.sun_path) {
+    error = "socket path must be 1.." + std::to_string(sizeof address.sun_path - 1) +
+            " bytes: " + path;
+    return false;
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool listen_unix(const std::string& path, Socket& out, std::string& error) {
+  sockaddr_un address{};
+  if (!fill_address(path, address, error)) return false;
+
+  Socket fd{::socket(AF_UNIX, SOCK_STREAM, 0)};
+  if (!fd.valid()) {
+    error = errno_text("socket");
+    return false;
+  }
+  // A socket file left by a previous (crashed) server would make bind fail
+  // with EADDRINUSE; a stale *file* is safe to replace, a live server is not
+  // detectable portably — the operator owns the path.
+  ::unlink(path.c_str());
+  if (::bind(fd.fd(), reinterpret_cast<const sockaddr*>(&address), sizeof address) < 0) {
+    error = errno_text(("bind " + path).c_str());
+    return false;
+  }
+  if (::listen(fd.fd(), 64) < 0) {
+    error = errno_text("listen");
+    return false;
+  }
+  if (!set_nonblocking(fd.fd(), error)) return false;
+  out = std::move(fd);
+  return true;
+}
+
+bool accept_unix(const Socket& listener, Socket& out, bool& accepted, std::string& error) {
+  accepted = false;
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED || errno == EINTR)
+      return true;
+    error = errno_text("accept");
+    return false;
+  }
+  Socket session{fd};
+  if (!set_nonblocking(session.fd(), error)) return false;
+  out = std::move(session);
+  accepted = true;
+  return true;
+}
+
+bool connect_unix(const std::string& path, Socket& out, std::string& error) {
+  sockaddr_un address{};
+  if (!fill_address(path, address, error)) return false;
+
+  Socket fd{::socket(AF_UNIX, SOCK_STREAM, 0)};
+  if (!fd.valid()) {
+    error = errno_text("socket");
+    return false;
+  }
+  if (::connect(fd.fd(), reinterpret_cast<const sockaddr*>(&address), sizeof address) < 0) {
+    error = errno_text(("connect " + path).c_str());
+    return false;
+  }
+  out = std::move(fd);
+  return true;
+}
+
+bool read_available(const Socket& socket, std::string& out, std::size_t max_bytes,
+                    bool& closed, bool& would_block, std::string& error) {
+  closed = false;
+  would_block = false;
+  std::size_t appended = 0;
+  char buffer[1 << 14];
+  while (appended < max_bytes) {
+    const std::size_t want =
+        max_bytes - appended < sizeof buffer ? max_bytes - appended : sizeof buffer;
+    const ssize_t got = ::recv(socket.fd(), buffer, want, 0);
+    if (got > 0) {
+      out.append(buffer, static_cast<std::size_t>(got));
+      appended += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      closed = true;
+      return true;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      would_block = appended == 0;
+      return true;
+    }
+    if (errno == EINTR) continue;
+    error = errno_text("recv");
+    return false;
+  }
+  return true;
+}
+
+bool write_some(const Socket& socket, const std::string& data, std::size_t& offset,
+                std::string& error) {
+  while (offset < data.size()) {
+    const ssize_t sent =
+        ::send(socket.fd(), data.data() + offset, data.size() - offset, MSG_NOSIGNAL);
+    if (sent > 0) {
+      offset += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    error = errno_text("send");
+    return false;
+  }
+  return true;
+}
+
+bool write_all(const Socket& socket, const std::string& data, std::string& error) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t before = offset;
+    if (!write_some(socket, data, offset, error)) return false;
+    if (offset == before) {
+      // A blocking socket only returns "would block" under SO_SNDTIMEO; the
+      // client sets none, so treat a stall as an error rather than spin.
+      error = "send stalled";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool read_blocking(const Socket& socket, std::string& out, std::size_t max_bytes,
+                   bool& closed, std::string& error) {
+  closed = false;
+  char buffer[1 << 14];
+  const std::size_t want = max_bytes < sizeof buffer ? max_bytes : sizeof buffer;
+  while (true) {
+    const ssize_t got = ::recv(socket.fd(), buffer, want, 0);
+    if (got > 0) {
+      out.append(buffer, static_cast<std::size_t>(got));
+      return true;
+    }
+    if (got == 0) {
+      closed = true;
+      return true;
+    }
+    if (errno == EINTR) continue;
+    error = errno_text("recv");
+    return false;
+  }
+}
+
+bool poll_sockets(std::vector<PollEntry>& entries, int timeout_ms, std::string& error) {
+  std::vector<pollfd> fds;
+  fds.reserve(entries.size());
+  for (const PollEntry& entry : entries) {
+    pollfd fd{};
+    fd.fd = entry.fd;
+    fd.events = static_cast<short>((entry.want_read ? POLLIN : 0) |
+                                   (entry.want_write ? POLLOUT : 0));
+    fds.push_back(fd);
+  }
+  int ready = 0;
+  do {
+    ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) {
+    error = errno_text("poll");
+    return false;
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].readable = (fds[i].revents & POLLIN) != 0;
+    entries[i].writable = (fds[i].revents & POLLOUT) != 0;
+    entries[i].broken = (fds[i].revents & (POLLERR | POLLNVAL)) != 0 ||
+                        ((fds[i].revents & POLLHUP) != 0 && (fds[i].revents & POLLIN) == 0);
+  }
+  return true;
+}
+
+}  // namespace nomc::svc

@@ -1,0 +1,85 @@
+// Minimal Unix-domain socket layer for the campaign service.
+//
+// This file (and socket.cpp) is the one sanctioned home for raw
+// socket/bind/listen/accept/connect calls — the svc-raw-socket lint rule
+// bans them everywhere else, exactly like det-raw-thread confines raw
+// threads to the deterministic runners. Everything above this layer works
+// in terms of Socket handles and byte buffers.
+//
+// The server side runs non-blocking (accept and reads return "would block"
+// instead of stalling the session loop); the client side is blocking, which
+// is the natural shape for a request/reply CLI.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nomc::svc {
+
+/// Move-only RAII owner of a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_{fd} {}
+  ~Socket() { close(); }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_{other.fd_} { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen a non-blocking Unix-domain socket at `path`, replacing a
+/// stale socket file from a previous run. Fails on a path longer than the
+/// sockaddr_un limit (~107 bytes).
+bool listen_unix(const std::string& path, Socket& out, std::string& error);
+
+/// Accept one pending connection from a listen_unix socket; the accepted
+/// socket is non-blocking. Returns true with `accepted` false when no
+/// connection is pending; false only on a real error.
+bool accept_unix(const Socket& listener, Socket& out, bool& accepted, std::string& error);
+
+/// Connect a blocking client socket to a server at `path`.
+bool connect_unix(const std::string& path, Socket& out, std::string& error);
+
+/// Non-blocking read into `out` (appends). Returns false on a connection
+/// error; `closed` reports a clean EOF, `would_block` that nothing was
+/// pending. Reads until the socket drains or `max_bytes` were appended.
+bool read_available(const Socket& socket, std::string& out, std::size_t max_bytes,
+                    bool& closed, bool& would_block, std::string& error);
+
+/// Non-blocking write of data[offset..]; advances `offset` past what was
+/// accepted. Returns false on a connection error (EPIPE included).
+bool write_some(const Socket& socket, const std::string& data, std::size_t& offset,
+                std::string& error);
+
+/// Blocking write of the whole buffer (client side).
+bool write_all(const Socket& socket, const std::string& data, std::string& error);
+
+/// Blocking read of at most `max_bytes`, appended to `out`; `closed`
+/// reports EOF. Returns at least one byte unless closed.
+bool read_blocking(const Socket& socket, std::string& out, std::size_t max_bytes,
+                   bool& closed, std::string& error);
+
+/// One readiness slot for poll_sockets.
+struct PollEntry {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  bool readable = false;   ///< out: data or a pending connection
+  bool writable = false;   ///< out
+  bool broken = false;     ///< out: HUP/ERR — close the session
+};
+
+/// poll(2) over `entries` with `timeout_ms` (-1 = wait forever). Fills the
+/// out flags; returns false only on a real error (EINTR retries).
+bool poll_sockets(std::vector<PollEntry>& entries, int timeout_ms, std::string& error);
+
+}  // namespace nomc::svc

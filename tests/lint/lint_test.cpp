@@ -147,6 +147,45 @@ TEST(LintRules, DetRawThreadExemptInRunners) {
   }
 }
 
+TEST(LintRules, SvcRawSocketFiresAndSuppresses) {
+  const std::vector<Finding> findings = lint_fixture("svc_socket.cpp");
+  const auto active = fired(findings, /*suppressed=*/false);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"svc-raw-socket", 6},   // socket
+      {"svc-raw-socket", 7},   // ::bind
+      {"svc-raw-socket", 8},   // listen
+      {"svc-raw-socket", 9},   // ::accept
+      {"svc-raw-socket", 10},  // connect
+  };
+  EXPECT_EQ(active, expected);
+  const auto muted = fired(findings, /*suppressed=*/true);
+  const std::vector<std::pair<std::string, int>> expected_muted = {
+      {"svc-raw-socket", 12},  // allowed socket()
+      {"svc-raw-socket", 19},  // FakeClient::connect declaration
+  };
+  EXPECT_EQ(muted, expected_muted);
+}
+
+TEST(LintRules, SvcRawSocketExemptInServiceLayer) {
+  for (const char* path :
+       {"src/svc/socket.cpp", "src/svc/server.cpp", "src/svc/cache.cpp"}) {
+    const SourceFile file =
+        scan_source(path, "int fd = socket(1, 1, 0);\n::connect(fd, nullptr, 0);\n");
+    std::vector<Diagnostic> diagnostics;
+    run_cpp_rules(file, diagnostics);
+    EXPECT_TRUE(diagnostics.empty()) << path;
+  }
+}
+
+TEST(LintRules, SvcRawSocketIgnoresMemberAndStdCalls) {
+  const SourceFile file = scan_source(
+      "tools/x.cpp",
+      "void f(Client& c, Client* p) { c.connect(1); p->connect(2); std::bind(f); }\n");
+  std::vector<Diagnostic> diagnostics;
+  run_cpp_rules(file, diagnostics);
+  EXPECT_TRUE(diagnostics.empty());
+}
+
 TEST(LintRules, DetUnorderedOutput) {
   const std::vector<Finding> findings = lint_fixture("det_unordered.cpp");
   const auto active = fired(findings, false);

@@ -91,7 +91,9 @@ int run(const cli::ArgParser& args) {
 
   stats::TablePrinter table{{"network", "MHz", "pkt/s", "PRR", "backoffs/s", "drops/s"}};
   for (std::size_t n = 0; n < mean.pps.size(); ++n) {
-    table.add_row({"N" + std::to_string(n),
+    std::string label = "N";  // discrete appends keep GCC 12's -Wrestrict quiet
+    label += std::to_string(n);
+    table.add_row({std::move(label),
                    stats::TablePrinter::num(
                        params.band_start_mhz + params.cfd_mhz * static_cast<double>(n), 0),
                    stats::TablePrinter::num(mean.pps[n], 1),
