@@ -252,17 +252,15 @@ std::string format_record(const CampaignSpec& spec, const SweepPoint& point,
   return out;
 }
 
-bool run_campaign(const CampaignSpec& spec, const std::string& out_path,
-                  const CampaignOptions& options, CampaignStats* stats, std::string& error) {
+bool prepare_store(const CampaignSpec& spec, const std::string& out_path,
+                   CampaignOptions::Mode mode, StorePlan& plan, std::string& error) {
   const std::vector<SweepPoint> points = expand_grid(spec);
   const std::string hash = spec_hash(spec);
-
-  CampaignStats local;
-  local.total = static_cast<int>(points.size());
+  plan.total = static_cast<int>(points.size());
 
   StoreScan existing;
   const bool have_store = store_exists(out_path);
-  switch (options.mode) {
+  switch (mode) {
     case CampaignOptions::Mode::kFresh:
       if (have_store) {
         error = "result store already exists: " + out_path +
@@ -279,38 +277,85 @@ bool run_campaign(const CampaignSpec& spec, const std::string& out_path,
       break;
   }
 
-  StoreWriter writer;
-  if (options.mode == CampaignOptions::Mode::kResume && have_store) {
+  if (mode == CampaignOptions::Mode::kResume && have_store) {
     // Rewrite the verbatim valid prefix: drops a torn trailing line (the
     // point that was in flight gets recomputed) while preserving every
     // completed record byte-for-byte.
-    if (!writer.open(out_path, /*truncate=*/true, error)) return false;
+    if (!plan.writer.open(out_path, /*truncate=*/true, error)) return false;
     if (!existing.valid_prefix.empty()) {
       std::string prefix = existing.valid_prefix;
       prefix.pop_back();  // append_line re-adds the final newline
-      if (!writer.append_line(prefix, error)) return false;
+      if (!plan.writer.append_line(prefix, error)) return false;
     }
   } else {
-    if (!writer.open(out_path, /*truncate=*/true, error)) return false;
+    if (!plan.writer.open(out_path, /*truncate=*/true, error)) return false;
   }
 
-  StoreWriter timing;
-  if (options.mode == CampaignOptions::Mode::kResume) {
-    if (!rewrite_timing_sidecar(out_path + ".timing", existing.completed, timing, error)) {
+  if (mode == CampaignOptions::Mode::kResume) {
+    if (!rewrite_timing_sidecar(out_path + ".timing", existing.completed, plan.timing,
+                                error)) {
       return false;
     }
   } else {
-    if (!timing.open(out_path + ".timing", /*truncate=*/true, error)) return false;
+    if (!plan.timing.open(out_path + ".timing", /*truncate=*/true, error)) return false;
   }
 
-  local.reused = static_cast<int>(existing.completed.size());
+  plan.reused = static_cast<int>(existing.completed.size());
+  plan.pending.clear();
+  for (const SweepPoint& point : points) {
+    if (existing.completed.count(point.index) == 0) plan.pending.push_back(point.index);
+  }
+  return true;
+}
+
+bool run_point_range(const CampaignSpec& spec, int first, int count,
+                     const RangeOptions& options,
+                     const std::function<bool(const SweepPoint& point, const std::string& record,
+                                              double wall_ms)>& emit,
+                     std::string& error) {
+  const std::vector<SweepPoint> points = expand_grid(spec);
+  if (first < 0 || count <= 0 ||
+      static_cast<std::size_t>(first) + static_cast<std::size_t>(count) > points.size()) {
+    error = "point range [" + std::to_string(first) + ", " + std::to_string(first + count) +
+            ") is outside the " + std::to_string(points.size()) + "-point grid";
+    return false;
+  }
+  sim::ParallelRunner runner{options.jobs};
+  for (int index = first; index < first + count; ++index) {
+    const SweepPoint& point = points[static_cast<std::size_t>(index)];
+    const auto start = std::chrono::steady_clock::now();
+    const PointResult result = run_point(point.params, runner, {}, options.trial_workers);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!emit(point, format_record(spec, point, result), wall_ms)) {
+      error = "point " + std::to_string(index) + " could not be delivered";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool run_campaign(const CampaignSpec& spec, const std::string& out_path,
+                  const CampaignOptions& options, CampaignStats* stats, std::string& error) {
+  const std::vector<SweepPoint> points = expand_grid(spec);
+
+  StorePlan plan;
+  if (!prepare_store(spec, out_path, options.mode, plan, error)) return false;
+
+  CampaignStats local;
+  local.total = plan.total;
+  local.reused = plan.reused;
+
+  StoreWriter& writer = plan.writer;
+  StoreWriter& timing = plan.timing;
 
   // The points still to compute, in point order: checkpointer slot i is
   // pending[i], so the dense slot sequence maps back to the (gappy, on
   // resume) point indices.
   std::vector<const SweepPoint*> pending;
-  for (const SweepPoint& point : points) {
-    if (existing.completed.count(point.index) == 0) pending.push_back(&point);
+  for (const int index : plan.pending) {
+    pending.push_back(&points[static_cast<std::size_t>(index)]);
   }
   if (options.max_points >= 0 &&
       pending.size() > static_cast<std::size_t>(options.max_points)) {

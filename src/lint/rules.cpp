@@ -259,6 +259,39 @@ void check_svc_raw_socket(const SourceFile& file, std::vector<Diagnostic>& out) 
   }
 }
 
+// ---- svc-raw-fork --------------------------------------------------------
+
+// Raw process-control syscalls outside the sanctioned supervision home. The
+// campaign service forks worker processes, and everything fragile about
+// that — pipe plumbing, exec failure, SIGKILL + reap, respawn — lives in
+// svc::WorkerPool (src/svc/worker_pool.cpp) so there is exactly one place
+// where a child can leak or a wait can hang. Same bare-call shape as
+// svc-raw-socket: member calls like pool.fork_thing(...) are legal.
+void check_svc_raw_fork(const SourceFile& file, std::vector<Diagnostic>& out) {
+  if (path_ends_with(file.path, "src/svc/worker_pool.cpp")) return;
+  const auto& tokens = file.tokens;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdentifier) continue;
+    const std::string& name = tokens[i].text;
+    if (name != "fork" && name != "vfork" && name != "execv" && name != "execvp" &&
+        name != "execve" && name != "execl" && name != "execlp" && name != "execle" &&
+        name != "execvpe" && name != "waitpid" && name != "wait4") {
+      continue;
+    }
+    if (tokens[i + 1].text != "(") continue;
+    if (i > 0) {
+      const std::string& before = tokens[i - 1].text;
+      if (before == "." || before == "->") continue;  // member call on an object
+      if (before == "::" && i > 1 && tokens[i - 2].text == "std") continue;
+    }
+    report(out, file, tokens[i].line, tokens[i].col, "svc-raw-fork",
+           "raw " + name +
+               "() outside src/svc/worker_pool.cpp — route worker processes "
+               "through svc::WorkerPool so child lifetimes, pipe plumbing, "
+               "and reaping live in one place");
+  }
+}
+
 // ---- det-g-format --------------------------------------------------------
 
 void check_det_g_format(const SourceFile& file, std::vector<Diagnostic>& out) {
@@ -478,6 +511,7 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"det-raw-thread", "raw std::thread/std::async outside the sanctioned runners"},
       {"det-g-format", "'g'-conversion float formatting outside the pinned store format"},
       {"svc-raw-socket", "raw socket/bind/listen/accept/connect calls outside src/svc/"},
+      {"svc-raw-fork", "raw fork/exec*/waitpid calls outside src/svc/worker_pool.cpp"},
       {"unit-dbm-mw-mix", "+/- between dBm-named and mW-named quantities"},
       {"unit-naked-cca", "naked CCA-threshold literal outside the config headers"},
       {"hyg-pragma-once", "header missing #pragma once as its first directive"},
@@ -501,6 +535,7 @@ void run_cpp_rules(const SourceFile& file, std::vector<Diagnostic>& out) {
   check_det_unordered_output(file, out);
   check_det_raw_thread(file, out);
   check_svc_raw_socket(file, out);
+  check_svc_raw_fork(file, out);
   check_det_g_format(file, out);
   check_unit_dbm_mw_mix(file, out);
   check_unit_naked_cca(file, out);

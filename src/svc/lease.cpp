@@ -1,0 +1,88 @@
+#include "svc/lease.hpp"
+
+namespace nomc::svc {
+
+void LeaseManager::reset(const std::vector<int>& points, int max_retries) {
+  queue_.clear();
+  queue_.insert(points.begin(), points.end());
+  active_.clear();
+  retries_.clear();
+  max_retries_ = max_retries;
+  retried_ = 0;
+  failed_first_ = 0;
+  failed_count_ = 0;
+}
+
+bool LeaseManager::acquire(int worker, int chunk, std::int64_t deadline_ms, int& first,
+                           int& count) {
+  if (queue_.empty() || chunk <= 0 || active_.count(worker) != 0) return false;
+  Active lease;
+  auto it = queue_.begin();
+  lease.first = *it;
+  int expect = lease.first;
+  while (it != queue_.end() && *it == expect && lease.count < chunk) {
+    lease.outstanding.insert(*it);
+    ++lease.count;
+    ++expect;
+    it = queue_.erase(it);
+  }
+  lease.deadline_ms = deadline_ms;
+  first = lease.first;
+  count = lease.count;
+  active_[worker] = std::move(lease);
+  return true;
+}
+
+LeaseEvent LeaseManager::complete(int worker, int point) {
+  auto it = active_.find(worker);
+  if (it == active_.end() || it->second.outstanding.erase(point) == 0)
+    return LeaseEvent::kUnexpected;
+  return it->second.outstanding.empty() ? LeaseEvent::kLeaseDone : LeaseEvent::kOk;
+}
+
+bool LeaseManager::finish(int worker) {
+  auto it = active_.find(worker);
+  if (it == active_.end() || !it->second.outstanding.empty()) return false;
+  active_.erase(it);
+  return true;
+}
+
+bool LeaseManager::revoke(int worker) {
+  auto it = active_.find(worker);
+  if (it == active_.end()) return true;  // nothing leased: nothing to redo
+  bool ok = true;
+  for (const int point : it->second.outstanding) {
+    queue_.insert(point);
+    ++retried_;
+    if (++retries_[point] > max_retries_ && ok) {
+      ok = false;
+      failed_first_ = it->second.first;
+      failed_count_ = it->second.count;
+    }
+  }
+  active_.erase(it);
+  return ok;
+}
+
+std::vector<int> LeaseManager::expired(std::int64_t now_ms) const {
+  std::vector<int> out;
+  for (const auto& [worker, lease] : active_)
+    if (lease.deadline_ms <= now_ms) out.push_back(worker);
+  return out;
+}
+
+std::int64_t LeaseManager::next_deadline() const {
+  std::int64_t best = -1;
+  for (const auto& [worker, lease] : active_) {
+    (void)worker;
+    if (best < 0 || lease.deadline_ms < best) best = lease.deadline_ms;
+  }
+  return best;
+}
+
+bool LeaseManager::point_outstanding(int worker, int point) const {
+  auto it = active_.find(worker);
+  return it != active_.end() && it->second.outstanding.count(point) != 0;
+}
+
+}  // namespace nomc::svc

@@ -1,0 +1,95 @@
+// LeaseManager: the bookkeeping half of campaign sharding. It owns the set
+// of pending point indices for the active campaign and hands out contiguous
+// ranges ("leases") to worker slots, tracking per-lease deadlines and
+// per-point retry budgets. It knows nothing about processes or pipes — the
+// WorkerPool owns those — which keeps this logic trivially unit-testable.
+//
+// Fault model: when a worker dies, stalls past its deadline, or emits a
+// protocol fault, the server calls revoke(). The lease's uncompleted points
+// go back on the queue (each point's retry counter bumped) and are re-leased
+// to any idle worker. A point that exhausts its budget fails the campaign;
+// revoke() reports it so the server can surface the offending range in
+// status replies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace nomc::svc {
+
+/// Outcome of completing one point against a worker's lease.
+enum class LeaseEvent {
+  kOk,          ///< point accepted, lease still has outstanding points
+  kLeaseDone,   ///< point accepted and it was the lease's last one
+  kUnexpected,  ///< point was not outstanding on this worker's lease
+};
+
+class LeaseManager {
+ public:
+  /// Start tracking a campaign: `points` are the pending grid indices
+  /// (ascending, from exp::StorePlan), `max_retries` the number of re-leases
+  /// a single point may survive before the campaign fails.
+  void reset(const std::vector<int>& points, int max_retries);
+
+  /// Carve the next lease for `worker`: a maximal run of consecutive queued
+  /// points, at most `chunk` long, expiring at `deadline_ms`. Resume gaps
+  /// split runs naturally, so a lease never spans points that are already in
+  /// the store. Returns false when the queue is empty or the worker already
+  /// holds a lease.
+  bool acquire(int worker, int chunk, std::int64_t deadline_ms, int& first, int& count);
+
+  /// Record one completed point from `worker`.
+  LeaseEvent complete(int worker, int point);
+
+  /// Mark the done-line for `worker`'s lease: valid only once every point of
+  /// the lease has been completed. Releases the lease. Returns false if the
+  /// worker holds no fully-completed lease (a protocol fault).
+  bool finish(int worker);
+
+  /// Take `worker`'s lease away (crash/stall/garbage): outstanding points go
+  /// back on the queue with their retry counters bumped. Returns false when
+  /// any of them exhausted the budget — the campaign must fail; the revoked
+  /// range is then available via failed_first()/failed_count().
+  bool revoke(int worker);
+
+  /// True once no points are queued and no leases are outstanding.
+  [[nodiscard]] bool done() const { return queue_.empty() && active_.empty(); }
+
+  /// Workers whose lease deadline is at or before `now_ms`.
+  [[nodiscard]] std::vector<int> expired(std::int64_t now_ms) const;
+
+  /// Earliest active-lease deadline, or -1 when no lease is outstanding
+  /// (lets the server clamp its poll timeout).
+  [[nodiscard]] std::int64_t next_deadline() const;
+
+  /// Total point re-leases so far (the status "retried" counter).
+  [[nodiscard]] std::uint64_t retried() const { return retried_; }
+
+  [[nodiscard]] bool has_lease(int worker) const { return active_.count(worker) != 0; }
+  [[nodiscard]] bool point_outstanding(int worker, int point) const;
+
+  /// The range whose retry budget ran out (valid after revoke() returned
+  /// false).
+  [[nodiscard]] int failed_first() const { return failed_first_; }
+  [[nodiscard]] int failed_count() const { return failed_count_; }
+
+ private:
+  struct Active {
+    int first = 0;
+    int count = 0;
+    std::set<int> outstanding;  ///< leased points not yet completed
+    std::int64_t deadline_ms = 0;
+  };
+
+  std::set<int> queue_;             ///< points awaiting a lease, ascending
+  std::map<int, Active> active_;    ///< worker slot -> its lease
+  std::map<int, int> retries_;      ///< point -> times re-leased
+  int max_retries_ = 0;
+  std::uint64_t retried_ = 0;
+  int failed_first_ = 0;
+  int failed_count_ = 0;
+};
+
+}  // namespace nomc::svc

@@ -1,0 +1,23 @@
+// The worker side of the campaign-sharding protocol: a loop that reads
+// lease lines from stdin, computes the leased point range through
+// exp::run_point_range, and writes one record line per point (then a done
+// line) to stdout — flushed per line, so the supervisor sees completions as
+// they happen and a kill loses at most the point in flight.
+//
+// nomc-campaign's hidden `worker` command is a thin wrapper around
+// run_worker; nomc-serve fork/execs it per --workers slot (the fork/exec
+// plumbing itself lives in worker_pool.cpp, the one home the svc-raw-fork
+// lint rule sanctions). The protocol grammar lives in svc/protocol.hpp.
+#pragma once
+
+#include <cstdio>
+
+namespace nomc::svc {
+
+/// Serve lease requests from `in` until EOF, writing replies to `out`.
+/// Returns the process exit code: 0 on a clean EOF, 1 after an unparsable
+/// lease line (an error line is emitted first — the supervisor treats any
+/// unexpected output as a protocol fault and revokes the lease).
+int run_worker(std::FILE* in, std::FILE* out);
+
+}  // namespace nomc::svc

@@ -1,0 +1,167 @@
+#include "svc/worker_pool.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstddef>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace nomc::svc {
+namespace {
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+bool WorkerPool::spawn(Slot& slot, std::string& error) {
+  int to_child[2] = {-1, -1};    // supervisor writes leases -> child stdin
+  int from_child[2] = {-1, -1};  // child stdout -> supervisor reads records
+  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+    close_fd(to_child[0]);
+    close_fd(to_child[1]);
+    error = "pipe failed";
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    close_fd(to_child[0]);
+    close_fd(to_child[1]);
+    close_fd(from_child[0]);
+    close_fd(from_child[1]);
+    error = "fork failed";
+    return false;
+  }
+  if (pid == 0) {
+    // Child: wire the pipe pair to stdin/stdout and become the worker.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<char*> argv;
+    argv.reserve(argv_.size() + 1);
+    for (const std::string& arg : argv_) argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed; the supervisor sees EOF and revokes
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  // Non-blocking reads: the server drains worker stdout from its poll loop.
+  const int flags = ::fcntl(from_child[0], F_GETFL, 0);
+  ::fcntl(from_child[0], F_SETFL, flags | O_NONBLOCK);
+  slot.pid = pid;
+  slot.in_fd = to_child[1];
+  slot.out_fd = from_child[0];
+  slot.splitter = LineSplitter{kMaxLine};
+  return true;
+}
+
+void WorkerPool::close_slot(Slot& slot) {
+  close_fd(slot.in_fd);
+  close_fd(slot.out_fd);
+  if (slot.pid > 0) {
+    ::kill(slot.pid, SIGKILL);
+    ::waitpid(slot.pid, nullptr, 0);
+  }
+  slot.pid = -1;
+}
+
+bool WorkerPool::start(const std::vector<std::string>& argv, int workers, std::string& error) {
+  // A worker that dies mid-write must not take the supervisor down with it.
+  std::signal(SIGPIPE, SIG_IGN);
+  argv_ = argv;
+  if (static_cast<int>(slots_.size()) < workers) slots_.resize(static_cast<std::size_t>(workers));
+  for (Slot& slot : slots_) {
+    if (slot.pid > 0) continue;
+    if (!spawn(slot, error)) return false;
+  }
+  return true;
+}
+
+void WorkerPool::stop() {
+  for (Slot& slot : slots_) close_slot(slot);
+  slots_.clear();
+}
+
+bool WorkerPool::alive(int slot) const {
+  return slot >= 0 && slot < size() && slots_[static_cast<std::size_t>(slot)].pid > 0;
+}
+
+int WorkerPool::read_fd(int slot) const {
+  if (!alive(slot)) return -1;
+  return slots_[static_cast<std::size_t>(slot)].out_fd;
+}
+
+std::vector<pid_t> WorkerPool::pids() const {
+  std::vector<pid_t> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) out.push_back(slot.pid);
+  return out;
+}
+
+bool WorkerPool::send_lease(int slot, const LeaseRequest& lease) {
+  if (!alive(slot)) return false;
+  std::string line = lease_line(lease);
+  line += '\n';
+  std::size_t sent = 0;
+  const int fd = slots_[static_cast<std::size_t>(slot)].in_fd;
+  while (sent < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + sent, line.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool WorkerPool::drain(int slot, bool& closed) {
+  closed = false;
+  if (!alive(slot)) {
+    closed = true;
+    return true;
+  }
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(s.out_fd, buffer, sizeof buffer);
+    if (n > 0) {
+      s.splitter.feed(std::string(buffer, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      closed = true;
+      return true;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool WorkerPool::take_line(int slot, std::string& line, bool& oversized) {
+  if (slot < 0 || slot >= size()) return false;
+  return slots_[static_cast<std::size_t>(slot)].splitter.take(line, oversized);
+}
+
+void WorkerPool::kill_slot(int slot) {
+  if (slot < 0 || slot >= size()) return;
+  close_slot(slots_[static_cast<std::size_t>(slot)]);
+}
+
+bool WorkerPool::respawn(int slot, std::string& error) {
+  if (slot < 0 || slot >= size()) {
+    error = "no such worker slot";
+    return false;
+  }
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (s.pid > 0) return true;
+  return spawn(s, error);
+}
+
+}  // namespace nomc::svc

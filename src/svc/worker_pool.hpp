@@ -1,0 +1,83 @@
+// WorkerPool: supervision of the campaign worker processes. This file (and
+// worker_pool.cpp) is the one sanctioned home for raw fork/exec/waitpid
+// calls — the svc-raw-fork lint rule bans them everywhere else, exactly like
+// svc-raw-socket confines raw socket calls to svc/socket.cpp.
+//
+// Each slot is one child process running `worker_argv` (normally
+// `nomc-campaign worker`) with a pipe pair: the supervisor writes lease
+// lines to the child's stdin and reads record/done lines from its stdout
+// (non-blocking, drained from the server's poll loop). Workers are
+// stateless — every lease line carries the full spec — so the pool's only
+// recovery action is SIGKILL + respawn; the LeaseManager decides what to do
+// with the lost points.
+#pragma once
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "svc/protocol.hpp"
+
+namespace nomc::svc {
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool() { stop(); }
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Spawn `workers` children running `argv` (argv[0] is the binary path).
+  /// Idempotent: running slots are kept, dead ones respawned.
+  bool start(const std::vector<std::string>& argv, int workers, std::string& error);
+
+  /// SIGKILL and reap every child. Safe at any time: workers hold no store
+  /// state, so killing them loses at most the points in flight.
+  void stop();
+
+  [[nodiscard]] int size() const { return static_cast<int>(slots_.size()); }
+  [[nodiscard]] bool alive(int slot) const;
+
+  /// The child's stdout fd (non-blocking), for the server's poll set.
+  /// -1 when the slot is not running.
+  [[nodiscard]] int read_fd(int slot) const;
+
+  /// Child pids, one per slot (-1 = not running). Tests use this to SIGKILL
+  /// a specific worker mid-campaign.
+  [[nodiscard]] std::vector<pid_t> pids() const;
+
+  /// Write one lease line to the worker's stdin. Lease lines are far below
+  /// the pipe buffer, so this never blocks in practice; a failed write means
+  /// the child is gone (caller should treat it as a fault).
+  bool send_lease(int slot, const LeaseRequest& lease);
+
+  /// Drain the worker's stdout into its line splitter. `closed` reports EOF
+  /// (the child exited or was killed). Returns false on a read error.
+  bool drain(int slot, bool& closed);
+
+  /// Pop the next complete stdout line from `slot`.
+  bool take_line(int slot, std::string& line, bool& oversized);
+
+  /// SIGKILL one slot and reap it (fault recovery). The slot stays dead
+  /// until respawn().
+  void kill_slot(int slot);
+
+  /// Fork a replacement child for a dead slot.
+  bool respawn(int slot, std::string& error);
+
+ private:
+  struct Slot {
+    pid_t pid = -1;
+    int in_fd = -1;   ///< write end of the child's stdin
+    int out_fd = -1;  ///< read end of the child's stdout (non-blocking)
+    LineSplitter splitter{kMaxLine};
+  };
+
+  bool spawn(Slot& slot, std::string& error);
+  void close_slot(Slot& slot);
+
+  std::vector<std::string> argv_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace nomc::svc

@@ -186,6 +186,49 @@ TEST(LintRules, SvcRawSocketIgnoresMemberAndStdCalls) {
   EXPECT_TRUE(diagnostics.empty());
 }
 
+TEST(LintRules, SvcRawForkFiresAndSuppresses) {
+  const std::vector<Finding> findings = lint_fixture("svc_fork.cpp");
+  const auto active = fired(findings, /*suppressed=*/false);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"svc-raw-fork", 7},   // fork
+      {"svc-raw-fork", 8},   // ::execv
+      {"svc-raw-fork", 9},   // execvp
+      {"svc-raw-fork", 11},  // ::waitpid
+  };
+  EXPECT_EQ(active, expected);
+  const auto muted = fired(findings, /*suppressed=*/true);
+  const std::vector<std::pair<std::string, int>> expected_muted = {
+      {"svc-raw-fork", 13},  // allowed fork()
+      {"svc-raw-fork", 20},  // FakeSupervisor::fork declaration
+  };
+  EXPECT_EQ(muted, expected_muted);
+}
+
+TEST(LintRules, SvcRawForkExemptOnlyInWorkerPool) {
+  const SourceFile exempt = scan_source(
+      "src/svc/worker_pool.cpp", "int pid = fork();\n::waitpid(pid, nullptr, 0);\n");
+  std::vector<Diagnostic> diagnostics;
+  run_cpp_rules(exempt, diagnostics);
+  EXPECT_TRUE(diagnostics.empty());
+
+  // The rest of src/svc/ is NOT exempt: the socket exemption does not bleed
+  // into process control.
+  const SourceFile server = scan_source("src/svc/server.cpp", "int pid = fork();\n");
+  diagnostics.clear();
+  run_cpp_rules(server, diagnostics);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule_id, "svc-raw-fork");
+}
+
+TEST(LintRules, SvcRawForkIgnoresMemberAndStdCalls) {
+  const SourceFile file = scan_source(
+      "tools/x.cpp",
+      "void f(Pool& w, Pool* p) { w.fork(1); p->execv(2); std::execv(3); }\n");
+  std::vector<Diagnostic> diagnostics;
+  run_cpp_rules(file, diagnostics);
+  EXPECT_TRUE(diagnostics.empty());
+}
+
 TEST(LintRules, DetUnorderedOutput) {
   const std::vector<Finding> findings = lint_fixture("det_unordered.cpp");
   const auto active = fired(findings, false);

@@ -1,0 +1,79 @@
+// fake_worker — a misbehaving campaign worker for the fault-injection tests.
+//
+//   fake_worker <mode> <sentinel-path>
+//
+// The first instance to read a lease misbehaves according to <mode> and
+// creates <sentinel-path>; every later instance (the supervisor's respawn)
+// sees the sentinel and delegates to the real svc::run_worker, so the
+// campaign recovers. Modes:
+//
+//   stall           read one lease, then hang forever holding it (the
+//                   supervisor's lease deadline — or the test's SIGKILL —
+//                   has to take it away)
+//   garbage         read one lease, print a non-JSON line, exit (protocol
+//                   fault: killed, lease revoked, points re-leased)
+//   garbage-always  every instance prints garbage (sentinel ignored) — the
+//                   retry budget runs out and the campaign must fail
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "svc/worker.hpp"
+
+namespace {
+
+bool file_exists(const char* path) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) return false;
+  std::fclose(file);
+  return true;
+}
+
+void create_file(const char* path) {
+  if (std::FILE* file = std::fopen(path, "wb"); file != nullptr) std::fclose(file);
+}
+
+/// Block until one '\n'-terminated lease line arrived (content ignored).
+void read_one_line() {
+  int ch = 0;
+  while ((ch = std::fgetc(stdin)) != EOF) {
+    if (ch == '\n') return;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: fake_worker <stall|garbage|garbage-always> <sentinel>\n");
+    return 2;
+  }
+  const std::string mode = argv[1];
+  const char* sentinel = argv[2];
+
+  if (mode == "garbage-always") {
+    read_one_line();
+    std::fputs("** not a worker reply **\n", stdout);
+    std::fflush(stdout);
+    return 0;
+  }
+  if (file_exists(sentinel)) {
+    // A respawned instance: behave like the real worker so the campaign
+    // completes after exactly one injected fault.
+    return nomc::svc::run_worker(stdin, stdout);
+  }
+  create_file(sentinel);
+  read_one_line();
+  if (mode == "stall") {
+    for (;;) ::pause();  // hold the lease until killed
+  }
+  if (mode == "garbage") {
+    std::fputs("** not a worker reply **\n", stdout);
+    std::fflush(stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+  return 2;
+}

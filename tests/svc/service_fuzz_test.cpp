@@ -1,0 +1,175 @@
+// Server crash-resume fuzz for sharded campaigns: kill the server (and with
+// it every worker process) at a random point of a --workers 3 campaign,
+// optionally tear the store's tail the way a mid-write death would, then
+// restart against the same data dir and resubmit. The final store must be
+// byte-identical to a serial local run for every seed — the worker count and
+// the crash point must leave no fingerprint.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include <unistd.h>
+
+#include "exp/campaign.hpp"
+#include "exp/spec.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+
+namespace nomc::svc {
+namespace {
+
+// 4 cheap points, one trial each; lease_points=1 spreads them across workers.
+constexpr const char* kFuzzSpec =
+    "name = svc_fuzz\n"
+    "channels = 2\n"
+    "links = 1\n"
+    "power = 0\n"
+    "warmup = 0.05\n"
+    "measure = 0.1\n"
+    "trials = 1\n"
+    "sweep links = 1 2 3 4\n";
+
+std::string read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return {};
+  std::string content;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) content.append(buffer, got);
+  std::fclose(file);
+  return content;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr) << path;
+  ASSERT_EQ(std::fwrite(content.data(), 1, content.size(), file), content.size());
+  std::fclose(file);
+}
+
+void truncate_at(const std::string& path, std::size_t offset) {
+  std::string content = read_file(path);
+  if (offset < content.size()) content.resize(offset);
+  write_file(path, content);
+}
+
+exp::CampaignSpec fuzz_spec() {
+  exp::CampaignSpec spec;
+  exp::SpecError error;
+  EXPECT_TRUE(exp::parse_campaign(kFuzzSpec, spec, error)) << error.str();
+  return spec;
+}
+
+const std::string& oracle_bytes() {
+  static const std::string bytes = [] {
+    const std::string path =
+        ::testing::TempDir() + "nomc_sfz_oracle_" + std::to_string(::getpid()) + ".jsonl";
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".timing");
+    exp::CampaignOptions options;
+    options.quiet = true;
+    std::string error;
+    EXPECT_TRUE(exp::run_campaign(fuzz_spec(), path, options, nullptr, error)) << error;
+    return read_file(path);
+  }();
+  return bytes;
+}
+
+std::string submit_request() {
+  std::string request = "{\"op\":\"submit\",\"spec\":";
+  exp::json_append_string(request, std::string(kFuzzSpec));
+  request += '}';
+  return request;
+}
+
+TEST(ServiceFuzz, ServerKillMidCampaignResumesByteIdentical) {
+  const std::string& oracle = oracle_bytes();
+  ASSERT_FALSE(oracle.empty());
+  const std::string hash = exp::spec_hash(fuzz_spec());
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("fuzz seed " + std::to_string(seed));
+    std::mt19937_64 rng{seed};
+    const std::string dir =
+        ::testing::TempDir() + "nomc_sfz_" + std::to_string(::getpid()) + "_" +
+        std::to_string(seed);
+    std::filesystem::remove_all(dir);
+
+    ServerConfig config;
+    config.data_dir = dir;
+    config.workers = 3;
+    config.lease_points = 1;
+    config.worker_argv = {NOMC_CAMPAIGN_BIN, "worker"};
+
+    // First leg: submit, step a random distance into the campaign, then kill
+    // the server. close() reaps the workers with SIGKILL — the process-tree
+    // equivalent of the whole service dying.
+    {
+      config.socket_path =
+          "/tmp/nomc_sfz_" + std::to_string(::getpid()) + "_" + std::to_string(seed) + "a.sock";
+      Server server;
+      std::string error;
+      ASSERT_TRUE(server.open(config, error)) << error;
+      Client client;
+      ASSERT_TRUE(client.connect(config.socket_path, error)) << error;
+      ASSERT_TRUE(client.send_line(submit_request(), error)) << error;
+      // Unconditional stepping: early steps are still accepting the submit,
+      // and stepping past completion is harmless — every crash point from
+      // "before the campaign started" to "already done" gets fuzzed.
+      const int steps = 1 + static_cast<int>(rng() % 40);
+      for (int i = 0; i < steps; ++i) {
+        ASSERT_TRUE(server.step(20, error)) << error;
+      }
+      server.close();
+    }
+
+    // Half the seeds also tear the store tail, mimicking a write cut short
+    // by the kill (the writer appends + flushes per line, so only the final
+    // line can be torn — but the fuzz cuts anywhere to be adversarial).
+    const std::string store_path = dir + "/" + hash + ".jsonl";
+    const std::string store = read_file(store_path);
+    if (!store.empty() && rng() % 2 == 0) {
+      const std::size_t window = store.size() < 300 ? store.size() : 300;
+      truncate_at(store_path, store.size() - (rng() % (window + 1)));
+      const std::string timing = read_file(store_path + ".timing");
+      if (!timing.empty()) {
+        truncate_at(store_path + ".timing", timing.size() - (rng() % (timing.size() + 1)));
+      }
+    }
+
+    // Second leg: fresh server over the same data dir; resubmit must finish
+    // only the missing suffix and land on the serial oracle's bytes.
+    {
+      config.socket_path =
+          "/tmp/nomc_sfz_" + std::to_string(::getpid()) + "_" + std::to_string(seed) + "b.sock";
+      Server server;
+      std::string error;
+      ASSERT_TRUE(server.open(config, error)) << error;
+      Client client;
+      ASSERT_TRUE(client.connect(config.socket_path, error)) << error;
+      ASSERT_TRUE(client.send_line(submit_request(), error)) << error;
+      for (int i = 0; i < 4000; ++i) {
+        ASSERT_TRUE(server.step(5, error)) << error;
+        if (i >= 8 && !server.busy()) break;
+      }
+      ASSERT_FALSE(server.busy()) << "resumed campaign did not finish";
+      for (int i = 0; i < 6; ++i) ASSERT_TRUE(server.step(0, error)) << error;
+      std::string reply_line;
+      ASSERT_TRUE(client.recv_line(reply_line, error)) << error;
+      exp::JsonValue value;
+      ASSERT_TRUE(parse_reply(reply_line, value, error)) << reply_line;
+      ASSERT_NE(value.find("ok"), nullptr) << reply_line;
+      EXPECT_TRUE(value.find("ok")->boolean) << reply_line;
+      server.close();
+    }
+
+    EXPECT_EQ(read_file(store_path), oracle);
+  }
+}
+
+}  // namespace
+}  // namespace nomc::svc

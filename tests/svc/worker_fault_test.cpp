@@ -1,0 +1,319 @@
+// Fault-injected recovery tests for the worker-process campaign sharding.
+//
+// The server runs in-process and is driven through step(); the workers are
+// real child processes — either the genuine `nomc-campaign worker` or the
+// misbehaving tests/svc/fake_worker. Every test ends with the same oracle:
+// the store bytes must equal a serial exp::run_campaign of the same spec,
+// no matter how many workers died, stalled, or spoke garbage on the way.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "exp/campaign.hpp"
+#include "exp/spec.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+
+namespace nomc::svc {
+namespace {
+
+// Six sweep points, sub-second simulated time: enough leases to shard
+// across two workers with --lease-points 1 and still re-lease after faults.
+constexpr const char* kFaultSpec =
+    "name = svc_fault\n"
+    "channels = 2\n"
+    "links = 1\n"
+    "power = 0\n"
+    "warmup = 0.05\n"
+    "measure = 0.1\n"
+    "trials = 1\n"
+    "sweep links = 1 2 3 4 5 6\n";
+
+/// Paths carry the pid: ctest runs each TEST as its own process, often in
+/// parallel, and shared scratch files would race.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      ::testing::TempDir() + "nomc_wf_" + std::to_string(::getpid()) + "_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Sockets must fit sockaddr_un (~107 bytes); keep them in /tmp directly.
+std::string socket_path(const std::string& name) {
+  return "/tmp/nomc_wf_" + std::to_string(::getpid()) + "_" + name + ".sock";
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return {};
+  std::string out;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) out.append(buffer, got);
+  std::fclose(file);
+  return out;
+}
+
+std::string submit_request(const std::string& spec_text) {
+  std::string request = "{\"op\":\"submit\",\"spec\":";
+  exp::json_append_string(request, spec_text);
+  request += '}';
+  return request;
+}
+
+/// Serial oracle: the byte-exact store a local single-threaded run writes.
+const std::string& oracle_bytes() {
+  static const std::string bytes = [] {
+    exp::CampaignSpec spec;
+    exp::SpecError spec_error;
+    EXPECT_TRUE(exp::parse_campaign(kFaultSpec, spec, spec_error)) << spec_error.str();
+    const std::string path =
+        ::testing::TempDir() + "nomc_wf_oracle_" + std::to_string(::getpid()) + ".jsonl";
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".timing");
+    exp::CampaignOptions options;
+    options.quiet = true;
+    std::string error;
+    EXPECT_TRUE(exp::run_campaign(spec, path, options, nullptr, error)) << error;
+    return read_file(path);
+  }();
+  return bytes;
+}
+
+ServerConfig base_config(const std::string& name) {
+  ServerConfig config;
+  config.socket_path = socket_path(name);
+  config.data_dir = fresh_dir(name);
+  config.workers = 2;
+  config.lease_points = 1;
+  return config;
+}
+
+std::vector<std::string> real_worker_argv() { return {NOMC_CAMPAIGN_BIN, "worker"}; }
+
+std::vector<std::string> fake_worker_argv(const std::string& mode, const std::string& dir) {
+  return {NOMC_FAKE_WORKER_BIN, mode, dir + "/sentinel"};
+}
+
+/// step() until the sharded campaign (and its queue) has drained. The first
+/// few steps never early-exit: a freshly sent submit has not been accepted
+/// and read yet, so busy() is still false when drive() starts.
+void drive(Server& server, int max_steps = 4000) {
+  std::string error;
+  for (int i = 0; i < max_steps; ++i) {
+    ASSERT_TRUE(server.step(/*timeout_ms=*/5, error)) << error;
+    if (i >= 8 && !server.busy()) break;
+  }
+  ASSERT_FALSE(server.busy()) << "campaign did not finish within the step budget";
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(server.step(0, error)) << error;  // flush replies
+}
+
+std::string store_path_of(const ServerConfig& config) {
+  exp::CampaignSpec spec;
+  exp::SpecError spec_error;
+  EXPECT_TRUE(exp::parse_campaign(kFaultSpec, spec, spec_error));
+  return config.data_dir + "/" + exp::spec_hash(spec) + ".jsonl";
+}
+
+void expect_ok_submit(const std::string& reply_line) {
+  exp::JsonValue value;
+  std::string error;
+  ASSERT_TRUE(parse_reply(reply_line, value, error)) << reply_line;
+  ASSERT_NE(value.find("ok"), nullptr) << reply_line;
+  EXPECT_TRUE(value.find("ok")->boolean) << reply_line;
+  ASSERT_NE(value.find("done"), nullptr) << reply_line;
+  EXPECT_EQ(static_cast<int>(value.find("done")->number), 6);
+}
+
+TEST(WorkerFault, ShardedSubmitMatchesSerialOracle) {
+  ServerConfig config = base_config("clean");
+  config.worker_argv = real_worker_argv();
+  Server server;
+  std::string error;
+  ASSERT_TRUE(server.open(config, error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path, error)) << error;
+  ASSERT_TRUE(client.send_line(submit_request(kFaultSpec), error)) << error;
+  drive(server);
+  std::string reply_line;
+  ASSERT_TRUE(client.recv_line(reply_line, error)) << error;
+  expect_ok_submit(reply_line);
+
+  EXPECT_EQ(read_file(store_path_of(config)), oracle_bytes());
+  EXPECT_EQ(server.retried(), 0u);
+}
+
+TEST(WorkerFault, SigkilledWorkerHasItsPointsReleased) {
+  ServerConfig config = base_config("sigkill");
+  config.worker_argv = fake_worker_argv("stall", config.data_dir);
+  config.lease_timeout_ms = 60000;  // the kill, not the deadline, must recover it
+  Server server;
+  std::string error;
+  ASSERT_TRUE(server.open(config, error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path, error)) << error;
+  ASSERT_TRUE(client.send_line(submit_request(kFaultSpec), error)) << error;
+
+  // Step until the stalled worker exists and holds a lease, then SIGKILL
+  // every worker mid-point — exactly the crash the supervisor must absorb.
+  const std::string sentinel = config.data_dir + "/sentinel";
+  for (int i = 0; i < 2000 && !std::filesystem::exists(sentinel); ++i) {
+    ASSERT_TRUE(server.step(5, error)) << error;
+  }
+  ASSERT_TRUE(std::filesystem::exists(sentinel)) << "fake worker never started";
+  ASSERT_TRUE(server.busy());
+  for (const pid_t pid : server.worker_pids()) {
+    if (pid > 0) ::kill(pid, SIGKILL);
+  }
+
+  drive(server);
+  std::string reply_line;
+  ASSERT_TRUE(client.recv_line(reply_line, error)) << error;
+  expect_ok_submit(reply_line);
+
+  EXPECT_EQ(read_file(store_path_of(config)), oracle_bytes());
+  EXPECT_GE(server.retried(), 1u) << "the killed worker's points were not re-leased";
+}
+
+TEST(WorkerFault, StalledWorkerLosesItsLeaseOnDeadline) {
+  ServerConfig config = base_config("stall");
+  config.worker_argv = fake_worker_argv("stall", config.data_dir);
+  config.lease_timeout_ms = 200;  // fast deadline: the stall is detected, not waited out
+  Server server;
+  std::string error;
+  ASSERT_TRUE(server.open(config, error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path, error)) << error;
+  ASSERT_TRUE(client.send_line(submit_request(kFaultSpec), error)) << error;
+  drive(server);
+  std::string reply_line;
+  ASSERT_TRUE(client.recv_line(reply_line, error)) << error;
+  expect_ok_submit(reply_line);
+
+  EXPECT_EQ(read_file(store_path_of(config)), oracle_bytes());
+  EXPECT_GE(server.retried(), 1u);
+}
+
+TEST(WorkerFault, GarbageEmittingWorkerIsFaultedAndRetried) {
+  ServerConfig config = base_config("garbage");
+  config.worker_argv = fake_worker_argv("garbage", config.data_dir);
+  Server server;
+  std::string error;
+  ASSERT_TRUE(server.open(config, error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path, error)) << error;
+  ASSERT_TRUE(client.send_line(submit_request(kFaultSpec), error)) << error;
+  drive(server);
+  std::string reply_line;
+  ASSERT_TRUE(client.recv_line(reply_line, error)) << error;
+  expect_ok_submit(reply_line);
+
+  EXPECT_EQ(read_file(store_path_of(config)), oracle_bytes());
+  EXPECT_GE(server.retried(), 1u);
+}
+
+TEST(WorkerFault, RetryBudgetExhaustionFailsTheCampaignThenResubmitRecovers) {
+  ServerConfig config = base_config("exhaust");
+  config.worker_argv = fake_worker_argv("garbage-always", config.data_dir);
+  config.worker_retries = 1;
+  Server server;
+  std::string error;
+  ASSERT_TRUE(server.open(config, error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect(config.socket_path, error)) << error;
+  ASSERT_TRUE(client.send_line(submit_request(kFaultSpec), error)) << error;
+  drive(server);
+  std::string reply_line;
+  ASSERT_TRUE(client.recv_line(reply_line, error)) << error;
+  exp::JsonValue value;
+  ASSERT_TRUE(parse_reply(reply_line, value, error)) << reply_line;
+  ASSERT_NE(value.find("ok"), nullptr);
+  EXPECT_FALSE(value.find("ok")->boolean) << "a hopeless campaign must fail, not hang";
+
+  // The offending range is surfaced in status.
+  exp::CampaignSpec spec;
+  exp::SpecError spec_error;
+  ASSERT_TRUE(exp::parse_campaign(kFaultSpec, spec, spec_error));
+  std::string status_request = "{\"op\":\"status\",\"spec_hash\":";
+  exp::json_append_string(status_request, exp::spec_hash(spec));
+  status_request += '}';
+  ASSERT_TRUE(client.send_line(status_request, error)) << error;
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(server.step(5, error)) << error;
+  ASSERT_TRUE(client.recv_line(reply_line, error)) << error;
+  ASSERT_TRUE(parse_reply(reply_line, value, error)) << reply_line;
+  ASSERT_NE(value.find("state"), nullptr) << reply_line;
+  EXPECT_EQ(value.find("state")->string, "failed");
+  ASSERT_NE(value.find("failed_count"), nullptr) << reply_line;
+  EXPECT_GE(static_cast<int>(value.find("failed_count")->number), 1);
+  server.close();
+
+  // A resubmit against healthy workers finishes the campaign from whatever
+  // prefix survived, byte-identically.
+  config.worker_argv = real_worker_argv();
+  Server recovered;
+  ASSERT_TRUE(recovered.open(config, error)) << error;
+  Client client2;
+  ASSERT_TRUE(client2.connect(config.socket_path, error)) << error;
+  ASSERT_TRUE(client2.send_line(submit_request(kFaultSpec), error)) << error;
+  drive(recovered);
+  ASSERT_TRUE(client2.recv_line(reply_line, error)) << error;
+  expect_ok_submit(reply_line);
+  EXPECT_EQ(read_file(store_path_of(config)), oracle_bytes());
+}
+
+TEST(WorkerFault, StatusAndQueryAreAnsweredMidCampaign) {
+  ServerConfig config = base_config("midpoll");
+  config.worker_argv = real_worker_argv();
+  Server server;
+  std::string error;
+  ASSERT_TRUE(server.open(config, error)) << error;
+
+  Client submitter;
+  ASSERT_TRUE(submitter.connect(config.socket_path, error)) << error;
+  ASSERT_TRUE(submitter.send_line(submit_request(kFaultSpec), error)) << error;
+  // Let the submit land and the workers start.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(server.step(5, error)) << error;
+
+  // A second client gets a status reply while the campaign is running — the
+  // submit reply to the first client has NOT been sent yet.
+  Client poller;
+  ASSERT_TRUE(poller.connect(config.socket_path, error)) << error;
+  exp::CampaignSpec spec;
+  exp::SpecError spec_error;
+  ASSERT_TRUE(exp::parse_campaign(kFaultSpec, spec, spec_error));
+  std::string status_request = "{\"op\":\"status\",\"spec_hash\":";
+  exp::json_append_string(status_request, exp::spec_hash(spec));
+  status_request += '}';
+  ASSERT_TRUE(poller.send_line(status_request, error)) << error;
+  for (int i = 0; i < 8 && server.busy(); ++i) ASSERT_TRUE(server.step(5, error)) << error;
+  std::string reply_line;
+  ASSERT_TRUE(poller.recv_line(reply_line, error)) << error;
+  exp::JsonValue value;
+  ASSERT_TRUE(parse_reply(reply_line, value, error)) << reply_line;
+  ASSERT_NE(value.find("state"), nullptr) << reply_line;
+  // Usually "running"; "complete" only if the whole grid finished within
+  // the few steps above. Either way the poll loop answered mid-campaign.
+  EXPECT_TRUE(value.find("state")->string == "running" ||
+              value.find("state")->string == "complete")
+      << reply_line;
+
+  drive(server);
+  ASSERT_TRUE(submitter.recv_line(reply_line, error)) << error;
+  expect_ok_submit(reply_line);
+  EXPECT_EQ(read_file(store_path_of(config)), oracle_bytes());
+}
+
+}  // namespace
+}  // namespace nomc::svc
