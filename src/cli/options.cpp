@@ -4,23 +4,6 @@
 
 namespace nomc::cli {
 
-bool parse_scheme(const std::string& name, net::Scheme& out) {
-  if (name == "fixed") {
-    out = net::Scheme::kFixedCca;
-  } else if (name == "dcn") {
-    out = net::Scheme::kDcn;
-  } else if (name == "carrier-sense") {
-    out = net::Scheme::kCarrierSense;
-  } else {
-    return false;
-  }
-  return true;
-}
-
-bool valid_topology(const std::string& name) {
-  return name == "dense" || name == "clustered" || name == "random";
-}
-
 void add_scheme_option(ArgParser& args, const std::string& option,
                        const std::string& default_value, const std::string& what) {
   args.add_string(option, default_value,

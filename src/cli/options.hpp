@@ -10,18 +10,17 @@
 #include <string>
 
 #include "cli/args.hpp"
-#include "net/scenario.hpp"
+#include "net/scheme_names.hpp"
 
 namespace nomc::cli {
 
-inline constexpr const char* kSchemeChoices = "fixed | dcn | carrier-sense";
-inline constexpr const char* kTopologyChoices = "dense | clustered | random";
-
-/// "fixed" | "dcn" | "carrier-sense" → Scheme. False on anything else.
-[[nodiscard]] bool parse_scheme(const std::string& name, net::Scheme& out);
-
-/// True for "dense" | "clustered" | "random" (Cases I-III).
-[[nodiscard]] bool valid_topology(const std::string& name);
+// The names themselves live with the scenario vocabulary in
+// net/scheme_names.hpp; re-exported here so option-centric code keeps
+// reading cli::parse_scheme.
+using net::kSchemeChoices;
+using net::kTopologyChoices;
+using net::parse_scheme;
+using net::valid_topology;
 
 /// Declare a scheme option named `option` (e.g. "scheme", "a-scheme").
 /// `what` prefixes the help text ("design A: ..."); may be empty.

@@ -6,8 +6,8 @@
 #include <cstdio>
 #include <memory>
 
-#include "cli/options.hpp"
 #include "net/scenario.hpp"
+#include "net/scheme_names.hpp"
 #include "net/sharded_scenario.hpp"
 #include "net/topology.hpp"
 #include "phy/channel_plan.hpp"
@@ -91,10 +91,10 @@ bool rewrite_timing_sidecar(const std::string& path, const std::set<int>& comple
 PointResult run_point(const PointParams& params, sim::ParallelRunner& runner,
                       const TrialHook& pre_run, int trial_workers) {
   net::Scheme scheme = net::Scheme::kFixedCca;
-  const bool scheme_ok = cli::parse_scheme(params.scheme, scheme);
+  const bool scheme_ok = net::parse_scheme(params.scheme, scheme);
   assert(scheme_ok && "PointParams.scheme must be pre-validated");
   (void)scheme_ok;
-  assert(cli::valid_topology(params.topology) && "PointParams.topology must be pre-validated");
+  assert(net::valid_topology(params.topology) && "PointParams.topology must be pre-validated");
 
   const auto channels = phy::evenly_spaced(phy::Mhz{params.band_start_mhz},
                                            phy::Mhz{params.cfd_mhz}, params.channels);

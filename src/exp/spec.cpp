@@ -8,8 +8,8 @@
 #include <cstring>
 #include <set>
 
-#include "cli/options.hpp"
 #include "exp/result_store.hpp"
+#include "net/scheme_names.hpp"
 
 namespace nomc::exp {
 namespace {
@@ -112,16 +112,16 @@ bool apply_param(PointParams& params, const std::string& key, const std::string&
                  std::string& message) {
   if (key == "scheme") {
     net::Scheme ignored;
-    if (!cli::parse_scheme(value, ignored)) {
-      message = "unknown scheme '" + value + "' (" + cli::kSchemeChoices + ")";
+    if (!net::parse_scheme(value, ignored)) {
+      message = "unknown scheme '" + value + "' (" + net::kSchemeChoices + ")";
       return false;
     }
     params.scheme = value;
     return true;
   }
   if (key == "topology") {
-    if (!cli::valid_topology(value)) {
-      message = "unknown topology '" + value + "' (" + cli::kTopologyChoices + ")";
+    if (!net::valid_topology(value)) {
+      message = "unknown topology '" + value + "' (" + net::kTopologyChoices + ")";
       return false;
     }
     params.topology = value;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <set>
+#include <map>
+#include <tuple>
 #include <utility>
+
+#include "sim/parallel.hpp"
 
 namespace nomc::lint {
 
@@ -17,37 +20,40 @@ namespace {
   return text.substr(first, last - first + 1);
 }
 
-/// Parse every `allow(...)` / `allow-file(...)` directive in a comment.
-struct SuppressionScan {
-  std::vector<std::string> line_rules;  ///< allow(...) rule ids
-  std::vector<std::string> file_rules;  ///< allow-file(...) rule ids
-};
-
-[[nodiscard]] SuppressionScan parse_suppressions(const std::string& comment) {
-  SuppressionScan scan;
+/// Parse every allow()/allow-file() directive in one comment into sites.
+void parse_suppressions(const Comment& comment, std::vector<SuppressionSite>& out) {
   const std::string tag = "nomc-lint:";
-  std::size_t pos = comment.find(tag);
-  if (pos == std::string::npos) return scan;
+  std::size_t pos = comment.text.find(tag);
+  if (pos == std::string::npos) return;
   pos += tag.size();
-  while (pos < comment.size()) {
-    const std::size_t allow = comment.find("allow", pos);
+  while (pos < comment.text.size()) {
+    const std::size_t allow = comment.text.find("allow", pos);
     if (allow == std::string::npos) break;
     std::size_t cursor = allow + 5;
-    const bool whole_file = comment.compare(cursor, 5, "-file") == 0;
+    const bool whole_file = comment.text.compare(cursor, 5, "-file") == 0;
     if (whole_file) cursor += 5;
-    if (cursor >= comment.size() || comment[cursor] != '(') {
+    if (cursor >= comment.text.size() || comment.text[cursor] != '(') {
       pos = cursor;
       continue;
     }
-    const std::size_t close = comment.find(')', cursor);
+    const std::size_t close = comment.text.find(')', cursor);
     if (close == std::string::npos) break;
-    std::string ids = comment.substr(cursor + 1, close - cursor - 1);
+    std::string ids = comment.text.substr(cursor + 1, close - cursor - 1);
     std::string current;
     auto flush = [&] {
       const std::string id = trim(current);
       current.clear();
       if (id.empty()) return;
-      (whole_file ? scan.file_rules : scan.line_rules).push_back(id);
+      SuppressionSite site;
+      site.line = comment.line;
+      site.col = comment.col;
+      site.cover_begin = comment.line;
+      // The comment's own lines plus the line after it (so a standalone
+      // suppression comment covers the statement below).
+      site.cover_end = comment.end_line + 1;
+      site.rule = id;
+      site.whole_file = whole_file;
+      out.push_back(std::move(site));
     };
     for (const char c : ids) {
       if (c == ',') {
@@ -59,26 +65,24 @@ struct SuppressionScan {
     flush();
     pos = close + 1;
   }
-  return scan;
 }
 
-void apply_suppressions(const SourceFile& file, std::vector<Finding>& findings) {
-  std::set<std::pair<int, std::string>> line_allows;  // (line, rule)
-  std::set<std::string> file_allows;
-  for (const Comment& comment : file.comments) {
-    const SuppressionScan scan = parse_suppressions(comment.text);
-    for (const std::string& rule : scan.file_rules) file_allows.insert(rule);
-    for (const std::string& rule : scan.line_rules) {
-      // The comment's own lines plus the line after it (so a standalone
-      // suppression comment covers the statement below).
-      for (int line = comment.line; line <= comment.end_line + 1; ++line) {
-        line_allows.insert({line, rule});
-      }
-    }
-  }
+[[nodiscard]] std::vector<SuppressionSite> collect_sites(const SourceFile& file) {
+  std::vector<SuppressionSite> sites;
+  for (const Comment& comment : file.comments) parse_suppressions(comment, sites);
+  for (SuppressionSite& site : sites) site.line_text = trim(file.line_text(site.line));
+  return sites;
+}
+
+/// Mark findings covered by a site as suppressed, and the covering sites as
+/// used. A finding may be covered by several sites; all of them count.
+void apply_sites(std::vector<SuppressionSite>& sites, std::vector<Finding>& findings) {
   for (Finding& finding : findings) {
     const Diagnostic& d = finding.diagnostic;
-    if (file_allows.count(d.rule_id) > 0 || line_allows.count({d.line, d.rule_id}) > 0) {
+    for (SuppressionSite& site : sites) {
+      if (site.rule != d.rule_id) continue;
+      if (!site.whole_file && (d.line < site.cover_begin || d.line > site.cover_end)) continue;
+      site.used = true;
       finding.suppressed = true;
     }
   }
@@ -88,7 +92,8 @@ void sort_findings(std::vector<Finding>& findings) {
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     const Diagnostic& x = a.diagnostic;
     const Diagnostic& y = b.diagnostic;
-    return std::tie(x.path, x.line, x.col, x.rule_id) < std::tie(y.path, y.line, y.col, y.rule_id);
+    return std::tie(x.path, x.line, x.col, x.rule_id, x.message) <
+           std::tie(y.path, y.line, y.col, y.rule_id, y.message);
   });
 }
 
@@ -103,20 +108,37 @@ void sort_findings(std::vector<Finding>& findings) {
          has_extension(path, ".hpp") || has_extension(path, ".h") || has_extension(path, ".hh");
 }
 
+[[nodiscard]] std::vector<Finding> findings_from(std::vector<Diagnostic> diagnostics,
+                                                 const SourceFile& file) {
+  std::vector<Finding> findings;
+  findings.reserve(diagnostics.size());
+  for (Diagnostic& diagnostic : diagnostics) {
+    Finding finding;
+    finding.line_text = diagnostic.key_text.empty() ? trim(file.line_text(diagnostic.line))
+                                                    : diagnostic.key_text;
+    finding.diagnostic = std::move(diagnostic);
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+/// 1-based line number of byte offset `pos` in `content`.
+[[nodiscard]] int line_of_offset(const std::string& content, std::size_t pos) {
+  int line = 1;
+  for (std::size_t i = 0; i < pos && i < content.size(); ++i) {
+    if (content[i] == '\n') ++line;
+  }
+  return line;
+}
+
 }  // namespace
 
 std::vector<Finding> lint_cpp_source(const SourceFile& file) {
   std::vector<Diagnostic> diagnostics;
   run_cpp_rules(file, diagnostics);
-  std::vector<Finding> findings;
-  findings.reserve(diagnostics.size());
-  for (Diagnostic& diagnostic : diagnostics) {
-    Finding finding;
-    finding.line_text = trim(file.line_text(diagnostic.line));
-    finding.diagnostic = std::move(diagnostic);
-    findings.push_back(std::move(finding));
-  }
-  apply_suppressions(file, findings);
+  std::vector<Finding> findings = findings_from(std::move(diagnostics), file);
+  std::vector<SuppressionSite> sites = collect_sites(file);
+  apply_sites(sites, findings);
   sort_findings(findings);
   return findings;
 }
@@ -137,20 +159,49 @@ std::vector<Finding> lint_campaign_text(const std::string& path, const std::stri
 }
 
 bool lint_path(const std::string& path, std::vector<Finding>& out, std::string& error) {
+  FileLint file;
+  if (!lint_file(path, /*root=*/{}, file, error)) return false;
+  out.insert(out.end(), std::make_move_iterator(file.findings.begin()),
+             std::make_move_iterator(file.findings.end()));
+  return true;
+}
+
+bool lint_file(const std::string& path, const std::string& root, FileLint& out,
+               std::string& error) {
+  out = FileLint{};
+  out.module = module_of(path, root);
   if (cpp_file(path)) {
     SourceFile file;
     if (!scan_file(path, file, error)) return false;
-    std::vector<Finding> findings = lint_cpp_source(file);
-    out.insert(out.end(), std::make_move_iterator(findings.begin()),
-               std::make_move_iterator(findings.end()));
+    std::vector<Diagnostic> diagnostics;
+    run_cpp_rules(file, diagnostics);
+    out.findings = findings_from(std::move(diagnostics), file);
+    out.sites = collect_sites(file);
+    apply_sites(out.sites, out.findings);
+    sort_findings(out.findings);
+    collect_include_edges(file, root, out.edges);
     return true;
   }
   if (has_extension(path, ".campaign")) {
     SourceFile file;  // reuse the reader; tokens are ignored for specs
     if (!scan_file(path, file, error)) return false;
-    std::vector<Finding> findings = lint_campaign_text(file.path, file.content);
-    out.insert(out.end(), std::make_move_iterator(findings.begin()),
-               std::make_move_iterator(findings.end()));
+    out.findings = lint_campaign_text(file.path, file.content);
+    // The scanner does not parse '#' comments, so the allow-everything
+    // directive becomes a synthetic whole-file site; its usage feeds the
+    // stale pass exactly like a C++ directive.
+    const std::string directive = "nomc-lint: allow(golden-regen-note)";
+    const std::size_t at = file.content.find(directive);
+    if (at != std::string::npos) {
+      SuppressionSite site;
+      site.line = line_of_offset(file.content, at);
+      site.col = 1;
+      site.cover_begin = site.cover_end = site.line;
+      site.rule = "golden-regen-note";
+      site.line_text = trim(file.line_text(site.line));
+      site.whole_file = true;
+      site.used = !out.findings.empty();
+      out.sites.push_back(std::move(site));
+    }
     return true;
   }
   return true;  // unsupported extension: nothing to do
@@ -178,8 +229,19 @@ bool collect_files(const std::string& root, std::vector<std::string>& out, std::
       error = "walking " + root + ": " + ec.message();
       return false;
     }
-    if (!it->is_regular_file()) continue;
     const std::string path = it->path().generic_string();
+    if (it->is_directory()) {
+      // Lint fixtures are deliberate rule violations — test data, not code.
+      // An explicit root inside the fixture tree still scans (the lint test
+      // suite does exactly that); the exclusion only guards tree walks.
+      const std::string marker = "tests/lint/fixtures";
+      if (path.size() >= marker.size() &&
+          path.compare(path.size() - marker.size(), marker.size(), marker) == 0) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (!it->is_regular_file()) continue;
     if (cpp_file(path) || has_extension(path, ".campaign")) found.push_back(path);
   }
   std::sort(found.begin(), found.end());
@@ -188,6 +250,7 @@ bool collect_files(const std::string& root, std::vector<std::string>& out, std::
 }
 
 bool Baseline::load(const std::string& path, std::string& error) {
+  path_ = path;
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return true;  // missing baseline = empty baseline
   std::string content;
@@ -197,6 +260,7 @@ bool Baseline::load(const std::string& path, std::string& error) {
   std::fclose(file);
   std::size_t start = 0;
   int line_number = 0;
+  bool pending_allow_stale = false;
   while (start <= content.size()) {
     std::size_t end = content.find('\n', start);
     if (end == std::string::npos) end = content.size();
@@ -204,7 +268,15 @@ bool Baseline::load(const std::string& path, std::string& error) {
     ++line_number;
     start = end + 1;
     if (end == content.size() && line.empty()) break;
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty()) {
+      pending_allow_stale = false;
+      continue;
+    }
+    if (line[0] == '#') {
+      pending_allow_stale = line.find("nomc-lint:") != std::string::npos &&
+                            line.find("allow(lint-stale-baseline)") != std::string::npos;
+      continue;
+    }
     // path|rule|line text — two pipes minimum.
     const std::size_t first = line.find('|');
     const std::size_t second = first == std::string::npos ? std::string::npos
@@ -213,7 +285,12 @@ bool Baseline::load(const std::string& path, std::string& error) {
       error = path + ":" + std::to_string(line_number) + ": malformed baseline entry";
       return false;
     }
-    entries_.push_back(line);
+    Entry entry;
+    entry.key = line;
+    entry.line = line_number;
+    entry.allow_stale = pending_allow_stale;
+    pending_allow_stale = false;
+    entries_.push_back(std::move(entry));
   }
   return true;
 }
@@ -226,12 +303,34 @@ void Baseline::apply(std::vector<Finding>& findings) {
   for (Finding& finding : findings) {
     if (finding.suppressed) continue;
     const std::string key_text = key(finding);
-    const auto it = std::find(entries_.begin(), entries_.end(), key_text);
+    const auto it = std::find_if(entries_.begin(), entries_.end(), [&](const Entry& entry) {
+      return !entry.matched && entry.key == key_text;
+    });
     if (it != entries_.end()) {
       finding.baselined = true;
-      entries_.erase(it);
+      it->matched = true;
     }
   }
+}
+
+std::vector<Finding> Baseline::stale_findings() const {
+  std::vector<Finding> out;
+  for (const Entry& entry : entries_) {
+    if (entry.matched) continue;
+    Finding finding;
+    finding.diagnostic.path = path_;
+    finding.diagnostic.line = entry.line;
+    finding.diagnostic.col = 1;
+    finding.diagnostic.rule_id = "lint-stale-baseline";
+    finding.diagnostic.message =
+        "baseline entry matches no finding: '" + entry.key +
+        "' — delete the burned-down entry (or justify it with a "
+        "`nomc-lint: allow(lint-stale-baseline)` comment directly above)";
+    finding.line_text = entry.key;
+    finding.suppressed = entry.allow_stale;
+    out.push_back(std::move(finding));
+  }
+  return out;
 }
 
 std::string Baseline::serialize(const std::vector<Finding>& findings) {
@@ -245,6 +344,139 @@ std::string Baseline::serialize(const std::vector<Finding>& findings) {
     out += '\n';
   }
   return out;
+}
+
+namespace {
+
+/// Per-file stage result for the parallel scan.
+struct FileStage {
+  FileLint lint;
+  std::string error;
+  bool ok = true;
+};
+
+/// The stale-tracking rules are exempt from staleness themselves, so a
+/// justified meta-suppression does not demand an infinite tower of allows.
+[[nodiscard]] bool meta_rule(const std::string& rule) {
+  return rule == "lint-stale-suppress" || rule == "lint-stale-baseline";
+}
+
+}  // namespace
+
+bool run_lint(const RunOptions& options, RunResult& result, std::string& error) {
+  result = RunResult{};
+
+  LayerSpec spec;
+  const bool arch_pass = !options.layers_path.empty();
+  if (arch_pass && !spec.load(options.layers_path, error)) return false;
+
+  std::vector<std::string> files;
+  {
+    std::set<std::string> seen;
+    for (const std::string& root : options.roots) {
+      std::vector<std::string> batch;
+      if (!collect_files(root, batch, error)) return false;
+      for (std::string& path : batch) {
+        if (seen.insert(path).second) files.push_back(std::move(path));
+      }
+    }
+  }
+  result.file_count = files.size();
+
+  // Per-file stage, parallel. Each file's work is pure and self-contained;
+  // map() returns in index order, so the merge below is independent of the
+  // job count and the output stays byte-identical at any --jobs.
+  sim::ParallelRunner pool{options.jobs};
+  std::vector<FileStage> stages =
+      pool.map(static_cast<int>(files.size()), [&](int index) {
+        FileStage stage;
+        stage.ok = lint_file(files[static_cast<std::size_t>(index)], options.root_prefix,
+                             stage.lint, stage.error);
+        return stage;
+      });
+  for (const FileStage& stage : stages) {
+    if (!stage.ok) {
+      error = stage.error;
+      return false;
+    }
+  }
+
+  std::vector<Finding>& findings = result.findings;
+  std::map<std::string, std::size_t> stage_of_path;
+  std::set<std::string> modules_on_disk;
+  std::vector<IncludeEdge> edges;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    FileLint& lint = stages[i].lint;
+    stage_of_path.emplace(files[i], i);
+    if (!lint.module.empty()) modules_on_disk.insert(lint.module);
+    edges.insert(edges.end(), std::make_move_iterator(lint.edges.begin()),
+                 std::make_move_iterator(lint.edges.end()));
+    findings.insert(findings.end(), std::make_move_iterator(lint.findings.begin()),
+                    std::make_move_iterator(lint.findings.end()));
+  }
+
+  // Whole-program architecture pass. Graph findings are suppressible at the
+  // include directive they anchor to, through the same sites as any rule.
+  if (arch_pass) {
+    std::vector<Diagnostic> diagnostics;
+    run_graph_rules(spec, edges, modules_on_disk, diagnostics);
+    for (Diagnostic& diagnostic : diagnostics) {
+      Finding finding;
+      finding.line_text = diagnostic.key_text;
+      finding.diagnostic = std::move(diagnostic);
+      if (finding.diagnostic.rule_id == "arch-missing-spec" && spec.allows_missing()) {
+        finding.suppressed = true;
+      }
+      const auto it = stage_of_path.find(finding.diagnostic.path);
+      if (it != stage_of_path.end()) {
+        std::vector<Finding> one;
+        one.push_back(std::move(finding));
+        apply_sites(stages[it->second].lint.sites, one);
+        finding = std::move(one.front());
+      }
+      findings.push_back(std::move(finding));
+    }
+  }
+
+  // Stale-suppression pass: every directive must have earned its keep by
+  // now (per-file rules and the graph pass both mark usage).
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    std::vector<SuppressionSite>& sites = stages[i].lint.sites;
+    std::vector<Finding> stale;
+    for (const SuppressionSite& site : sites) {
+      if (site.used || meta_rule(site.rule)) continue;
+      Finding finding;
+      finding.diagnostic.path = files[i];
+      finding.diagnostic.line = site.line;
+      finding.diagnostic.col = site.col;
+      finding.diagnostic.rule_id = "lint-stale-suppress";
+      finding.diagnostic.message =
+          known_rule(site.rule)
+              ? "suppression '" + std::string{site.whole_file ? "allow-file" : "allow"} + "(" +
+                    site.rule + ")' matches no finding — delete the dead directive"
+              : "suppression names unknown rule '" + site.rule +
+                    "' — not in the catalog (typo?)";
+      finding.line_text = site.line_text;
+      stale.push_back(std::move(finding));
+    }
+    apply_sites(sites, stale);
+    findings.insert(findings.end(), std::make_move_iterator(stale.begin()),
+                    std::make_move_iterator(stale.end()));
+  }
+
+  // Baseline pass, last: it may absorb findings from every stage above, and
+  // whatever it no longer absorbs is itself a finding.
+  if (!options.baseline_path.empty()) {
+    Baseline baseline;
+    if (!baseline.load(options.baseline_path, error)) return false;
+    baseline.apply(findings);
+    std::vector<Finding> stale = baseline.stale_findings();
+    findings.insert(findings.end(), std::make_move_iterator(stale.begin()),
+                    std::make_move_iterator(stale.end()));
+  }
+
+  sort_findings(findings);
+  return true;
 }
 
 std::string format_diagnostic(const Finding& finding) {

@@ -1,0 +1,306 @@
+#include "lint/graph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <tuple>
+
+namespace nomc::lint {
+
+namespace {
+
+[[nodiscard]] std::string trim(const std::string& text) {
+  const std::size_t first = text.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const std::size_t last = text.find_last_not_of(" \t\r");
+  return text.substr(first, last - first + 1);
+}
+
+/// Strip `root` (with or without a trailing '/') from the front of `path`.
+[[nodiscard]] std::string strip_root(const std::string& path, const std::string& root) {
+  if (root.empty()) return path;
+  std::string prefix = root;
+  if (prefix.back() != '/') prefix += '/';
+  if (path.compare(0, prefix.size(), prefix) == 0) return path.substr(prefix.size());
+  return path;
+}
+
+[[nodiscard]] bool valid_module_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string module_of(const std::string& path, const std::string& root) {
+  const std::string rel = strip_root(path, root);
+  const std::size_t first = rel.find('/');
+  if (first == std::string::npos) return {};  // bare filename: no module
+  std::string head = rel.substr(0, first);
+  if (head != "src") return head;
+  const std::size_t second = rel.find('/', first + 1);
+  if (second == std::string::npos) return {};  // src/<file>: no module dir
+  return rel.substr(first + 1, second - first - 1);
+}
+
+void collect_include_edges(const SourceFile& file, const std::string& root,
+                           std::vector<IncludeEdge>& out) {
+  const std::string from = module_of(file.path, root);
+  if (from.empty()) return;
+  const auto& tokens = file.tokens;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].text != "#" || tokens[i + 1].text != "include") continue;
+    const Token& target = tokens[i + 2];
+    if (target.kind != Token::Kind::kString) continue;  // <...> system include
+    if (target.text.size() < 2) continue;
+    const std::string inner = target.text.substr(1, target.text.size() - 2);
+    const std::size_t slash = inner.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    const std::string to = inner.substr(0, slash);
+    if (to.empty() || to == from) continue;
+    IncludeEdge edge;
+    edge.path = file.path;
+    edge.line = tokens[i].line;
+    edge.col = tokens[i].col;
+    edge.from = from;
+    edge.to = to;
+    edge.line_text = trim(file.line_text(tokens[i].line));
+    out.push_back(std::move(edge));
+  }
+}
+
+bool LayerSpec::parse(const std::string& path, const std::string& content, std::string& error) {
+  path_ = path;
+  allowed_.clear();
+  allows_missing_ = false;
+  std::map<std::string, std::set<std::string>> parsed;
+  std::size_t start = 0;
+  int line_number = 0;
+  while (start < content.size() || (start == 0 && content.empty())) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    std::string line = trim(content.substr(start, end - start));
+    ++line_number;
+    start = end + 1;
+    // Comments run from '#' to end of line, full-line or trailing.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      if (line.find("nomc-lint:", hash) != std::string::npos &&
+          line.find("allow(arch-missing-spec)", hash) != std::string::npos) {
+        allows_missing_ = true;
+      }
+      line = trim(line.substr(0, hash));
+    }
+    if (line.empty()) {
+      if (end == content.size()) break;
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      error = path + ":" + std::to_string(line_number) + ": expected `module: deps...`";
+      return false;
+    }
+    const std::string module = trim(line.substr(0, colon));
+    if (!valid_module_name(module)) {
+      error = path + ":" + std::to_string(line_number) + ": bad module name '" + module + "'";
+      return false;
+    }
+    if (parsed.count(module) > 0) {
+      error = path + ":" + std::to_string(line_number) + ": duplicate module '" + module + "'";
+      return false;
+    }
+    std::set<std::string> deps;
+    std::string rest = line.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos < rest.size()) {
+      while (pos < rest.size() && (rest[pos] == ' ' || rest[pos] == '\t')) ++pos;
+      std::size_t word_end = pos;
+      while (word_end < rest.size() && rest[word_end] != ' ' && rest[word_end] != '\t') ++word_end;
+      if (word_end > pos) {
+        const std::string dep = rest.substr(pos, word_end - pos);
+        if (dep != "*" && !valid_module_name(dep)) {
+          error = path + ":" + std::to_string(line_number) + ": bad dependency name '" + dep + "'";
+          return false;
+        }
+        deps.insert(dep);
+      }
+      pos = word_end;
+    }
+    parsed.emplace(module, std::move(deps));
+    if (end == content.size()) break;
+  }
+  allowed_.assign(parsed.begin(), parsed.end());
+  return true;
+}
+
+bool LayerSpec::load(const std::string& path, std::string& error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    error = "cannot read layering spec " + path;
+    return false;
+  }
+  std::string content;
+  char buffer[1 << 14];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) content.append(buffer, got);
+  std::fclose(file);
+  return parse(path, content, error);
+}
+
+namespace {
+
+using SpecEntry = std::pair<std::string, std::set<std::string>>;
+
+[[nodiscard]] const SpecEntry* find_entry(const std::vector<SpecEntry>& entries,
+                                          const std::string& module) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), module,
+      [](const SpecEntry& entry, const std::string& key) { return entry.first < key; });
+  if (it == entries.end() || it->first != module) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+bool LayerSpec::has(const std::string& module) const {
+  return find_entry(allowed_, module) != nullptr;
+}
+
+bool LayerSpec::allows(const std::string& from, const std::string& to) const {
+  if (from == to) return true;
+  const SpecEntry* entry = find_entry(allowed_, from);
+  if (entry == nullptr) return false;
+  return entry->second.count(to) > 0 || entry->second.count("*") > 0;
+}
+
+std::string LayerSpec::allowed_list(const std::string& from) const {
+  const SpecEntry* it = find_entry(allowed_, from);
+  if (it == nullptr) return "(module not in spec)";
+  if (it->second.empty()) return "(none)";
+  std::string out;
+  for (const std::string& dep : it->second) {
+    if (!out.empty()) out += ' ';
+    out += dep;
+  }
+  return out;
+}
+
+namespace {
+
+using Adjacency = std::map<std::string, std::set<std::string>>;
+
+/// Shortest cycle through `origin` (BFS over the module graph); empty when
+/// none exists. Deterministic: neighbors expand in sorted order.
+[[nodiscard]] std::vector<std::string> shortest_cycle(const Adjacency& graph,
+                                                      const std::string& origin) {
+  std::map<std::string, std::string> parent;  // node -> predecessor on BFS tree
+  std::deque<std::string> queue;
+  queue.push_back(origin);
+  parent[origin] = origin;
+  while (!queue.empty()) {
+    const std::string node = queue.front();
+    queue.pop_front();
+    const auto it = graph.find(node);
+    if (it == graph.end()) continue;
+    for (const std::string& next : it->second) {
+      if (next == origin) {
+        // Walking the parent chain yields origin .. node reversed; the
+        // closing origin goes on after the middle is flipped back.
+        std::vector<std::string> cycle{origin};
+        for (std::string walk = node; walk != origin; walk = parent[walk]) {
+          cycle.push_back(walk);
+        }
+        std::reverse(cycle.begin() + 1, cycle.end());
+        cycle.push_back(origin);
+        return cycle;
+      }
+      if (parent.count(next) > 0) continue;
+      parent[next] = node;
+      queue.push_back(next);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+void run_graph_rules(const LayerSpec& spec, const std::vector<IncludeEdge>& edges,
+                     const std::set<std::string>& modules_on_disk,
+                     std::vector<Diagnostic>& out) {
+  // arch-missing-spec: every module with files on disk needs a spec entry.
+  for (const std::string& module : modules_on_disk) {
+    if (spec.has(module)) continue;
+    Diagnostic d;
+    d.path = spec.path();
+    d.line = 1;
+    d.col = 1;
+    d.rule_id = "arch-missing-spec";
+    d.message = "module '" + module + "' exists on disk but has no entry in " + spec.path() +
+                " — place it in the layering spec";
+    d.key_text = module;
+    out.push_back(std::move(d));
+  }
+
+  // arch-layer-violation: every module-crossing include must be permitted.
+  Adjacency graph;
+  for (const IncludeEdge& edge : edges) {
+    if (modules_on_disk.count(edge.to) == 0 && !spec.has(edge.to)) continue;  // external
+    graph[edge.from].insert(edge.to);
+    if (!spec.has(edge.from)) continue;  // reported as arch-missing-spec instead
+    if (spec.allows(edge.from, edge.to)) continue;
+    Diagnostic d;
+    d.path = edge.path;
+    d.line = edge.line;
+    d.col = edge.col;
+    d.rule_id = "arch-layer-violation";
+    d.message = "module '" + edge.from + "' may not include module '" + edge.to +
+                "' (allowed by " + spec.path() + ": " + spec.allowed_list(edge.from) + ")";
+    d.key_text = edge.line_text;
+    out.push_back(std::move(d));
+  }
+
+  // arch-cycle: report one representative (shortest) cycle through the
+  // smallest module that sits on any cycle; fixing it re-runs the pass, so
+  // nests of cycles drain deterministically. Self-edges cannot occur (an
+  // edge with from == to is never collected).
+  std::set<std::string> reported;  // modules already covered by a reported cycle
+  for (const auto& [module, targets] : graph) {
+    (void)targets;
+    if (reported.count(module) > 0) continue;
+    const std::vector<std::string> cycle = shortest_cycle(graph, module);
+    if (cycle.empty()) continue;
+    for (const std::string& node : cycle) reported.insert(node);
+    // Anchor the diagnostic at the first include directive that realizes
+    // the cycle's first edge (smallest path, then line).
+    const IncludeEdge* anchor = nullptr;
+    for (const IncludeEdge& edge : edges) {
+      if (edge.from != cycle[0] || edge.to != cycle[1]) continue;
+      if (anchor == nullptr || std::tie(edge.path, edge.line, edge.col) <
+                                   std::tie(anchor->path, anchor->line, anchor->col)) {
+        anchor = &edge;
+      }
+    }
+    std::string path_text;
+    for (const std::string& node : cycle) {
+      if (!path_text.empty()) path_text += " -> ";
+      path_text += node;
+    }
+    Diagnostic d;
+    d.path = anchor != nullptr ? anchor->path : spec.path();
+    d.line = anchor != nullptr ? anchor->line : 1;
+    d.col = anchor != nullptr ? anchor->col : 1;
+    d.rule_id = "arch-cycle";
+    d.message = "module dependency cycle: " + path_text +
+                " — break the cycle (invert the weaker dependency or split a module)";
+    d.key_text = anchor != nullptr ? anchor->line_text : path_text;
+    out.push_back(std::move(d));
+  }
+}
+
+}  // namespace nomc::lint

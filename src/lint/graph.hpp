@@ -1,0 +1,105 @@
+// Whole-program include-graph pass for nomc-lint.
+//
+// Per-file lint rules cannot see the bug classes that matter as the tree
+// grows: a service-layer file reaching back into the PHY, a dependency
+// cycle between modules, a new module nobody placed in the architecture.
+// This pass parses every quoted #include directive, collapses files to
+// modules (directory = module: `src/phy/medium.cpp` is module `phy`,
+// `tools/nomc_lint.cpp` is module `tools`), and checks the resulting module
+// graph against the checked-in layering spec `tools/nomc_layers.txt`:
+//
+//   arch-layer-violation  an include edge the spec does not permit,
+//                         reported at the offending #include directive
+//   arch-cycle            any cycle in the module graph, reported once per
+//                         cycle with the full module path, anchored at the
+//                         lexicographically first edge of the cycle
+//   arch-missing-spec     a module that exists on disk (has scanned files)
+//                         but has no entry in the spec — growth must be
+//                         placed in the architecture, not discovered later
+//
+// Spec grammar (one module per line; '#' comments, full-line or trailing):
+//
+//   module: dep1 dep2 ...   module may include itself and the listed deps
+//   module:                 a base layer: no cross-module includes
+//   module: *               may include anything (driver layers: tools,
+//                           bench, tests)
+//
+// A `# nomc-lint: allow(arch-missing-spec)` comment inside the spec file
+// suppresses arch-missing-spec findings (for a deliberately partial spec);
+// the other two rules are suppressed inline at the include directive like
+// any per-file rule.
+//
+// nomc-lint: allow-file(lint-stale-suppress) — the directive above and in
+// allows_missing() is quoted documentation, not a live suppression.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "lint/source.hpp"
+
+namespace nomc::lint {
+
+/// One module-crossing quoted #include directive.
+struct IncludeEdge {
+  std::string path;       ///< including file, as scanned
+  int line = 1;           ///< line of the #include directive
+  int col = 1;
+  std::string from;       ///< module of `path`
+  std::string to;         ///< first path component of the include target
+  std::string line_text;  ///< trimmed directive text (baseline key material)
+};
+
+/// Module of a repo-relative path. `root` (when non-empty) is stripped
+/// first, so fixture trees can be analyzed in place. `src/<m>/...` maps to
+/// `<m>`; anything else maps to its first directory component (`tools`,
+/// `bench`, `tests`, ...). A bare filename has no module ("").
+[[nodiscard]] std::string module_of(const std::string& path, const std::string& root = {});
+
+/// Append the module-crossing include edges of one scanned file. Includes
+/// without a '/' are intra-module and produce no edge; edges whose target
+/// module is unknown are filtered later, in run_graph_rules.
+void collect_include_edges(const SourceFile& file, const std::string& root,
+                           std::vector<IncludeEdge>& out);
+
+/// The parsed layering spec (tools/nomc_layers.txt).
+class LayerSpec {
+ public:
+  /// Parse `content` (from `path`, used in diagnostics). False + `error` on
+  /// a malformed line.
+  bool parse(const std::string& path, const std::string& content, std::string& error);
+
+  /// Read and parse a spec file from disk.
+  bool load(const std::string& path, std::string& error);
+
+  [[nodiscard]] bool has(const std::string& module) const;
+
+  /// True when `from` may include `to` (self-edges and '*' always may).
+  [[nodiscard]] bool allows(const std::string& from, const std::string& to) const;
+
+  /// The allowed targets of `from`, space-joined, for diagnostics.
+  [[nodiscard]] std::string allowed_list(const std::string& from) const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t size() const { return allowed_.size(); }
+
+  /// True when the spec carries `# nomc-lint: allow(arch-missing-spec)`.
+  [[nodiscard]] bool allows_missing() const { return allows_missing_; }
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, std::set<std::string>>> allowed_;  // sorted by module
+  bool allows_missing_ = false;
+};
+
+/// Run the three architecture rules over the whole program's edges.
+/// `modules_on_disk` is the set of modules the scanned files belong to.
+/// Edges whose target is neither on disk nor in the spec are external
+/// includes and are ignored. Diagnostics append deterministically.
+void run_graph_rules(const LayerSpec& spec, const std::vector<IncludeEdge>& edges,
+                     const std::set<std::string>& modules_on_disk,
+                     std::vector<Diagnostic>& out);
+
+}  // namespace nomc::lint

@@ -518,6 +518,11 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"hyg-using-namespace-std", "'using namespace std' in a header"},
       {"hyg-todo-issue", "TODO/FIXME without an owner or issue tag"},
       {"golden-regen-note", "golden campaign spec missing its regeneration command comment"},
+      {"arch-layer-violation", "module include edge not permitted by the layering spec"},
+      {"arch-cycle", "dependency cycle in the module include graph"},
+      {"arch-missing-spec", "module on disk with no entry in tools/nomc_layers.txt"},
+      {"lint-stale-suppress", "allow() directive that suppresses nothing (or names no known rule)"},
+      {"lint-stale-baseline", "baseline entry that matches no finding"},
   };
   return kCatalog;
 }

@@ -54,6 +54,25 @@
 //                         regeneration command (`nomc-campaign run ...
 //                         --overwrite`) in its header comment — the ctest
 //                         guard prints that command on byte drift
+//
+// Architecture (whole-program: the module include graph vs the checked-in
+// layering spec tools/nomc_layers.txt — see lint/graph.hpp):
+//   arch-layer-violation  a quoted #include crossing modules along an edge
+//                         the spec does not permit
+//   arch-cycle            a cycle in the module graph, reported with the
+//                         full module path
+//   arch-missing-spec     a module with files on disk but no spec entry
+//
+// Lint hygiene (whole-program: suppressions and the baseline must stay
+// live, or dead ones hide tomorrow's real finding — see lint/driver.hpp):
+//   lint-stale-suppress   an allow()/allow-file() directive whose rule
+//                         produces no finding on the lines it covers, or
+//                         that names a rule not in this catalog
+//   lint-stale-baseline   a baseline entry that no longer matches any
+//                         finding
+//
+// nomc-lint: allow-file(lint-stale-suppress) — the `allow(rule-id)` example
+// above is quoted documentation, not a live suppression.
 #pragma once
 
 #include <string>
@@ -69,6 +88,10 @@ struct Diagnostic {
   int col = 1;
   std::string rule_id;
   std::string message;
+  /// Baseline key material for findings whose anchor line is not a scanned
+  /// source line (the graph and stale passes set it); when empty, the
+  /// driver derives it from the anchored source line.
+  std::string key_text;
 };
 
 struct RuleInfo {

@@ -1,0 +1,22 @@
+#include "net/scheme_names.hpp"
+
+namespace nomc::net {
+
+bool parse_scheme(const std::string& name, Scheme& out) {
+  if (name == "fixed") {
+    out = Scheme::kFixedCca;
+  } else if (name == "dcn") {
+    out = Scheme::kDcn;
+  } else if (name == "carrier-sense") {
+    out = Scheme::kCarrierSense;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool valid_topology(const std::string& name) {
+  return name == "dense" || name == "clustered" || name == "random";
+}
+
+}  // namespace nomc::net

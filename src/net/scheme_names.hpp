@@ -1,0 +1,26 @@
+// Canonical names for the scenario vocabulary: channel-access schemes and
+// deployment topologies.
+//
+// The strings live here — next to the enums and topology generators they
+// name — so every consumer (the CLI option helpers, the exp spec parser,
+// the campaign engine) parses and validates them identically. cli/ wraps
+// these in ArgParser declarations; exp/ uses them directly, without a
+// dependency on the flag-parsing layer.
+#pragma once
+
+#include <string>
+
+#include "net/scenario.hpp"
+
+namespace nomc::net {
+
+inline constexpr const char* kSchemeChoices = "fixed | dcn | carrier-sense";
+inline constexpr const char* kTopologyChoices = "dense | clustered | random";
+
+/// "fixed" | "dcn" | "carrier-sense" → Scheme. False on anything else.
+[[nodiscard]] bool parse_scheme(const std::string& name, Scheme& out);
+
+/// True for "dense" | "clustered" | "random" (Cases I-III).
+[[nodiscard]] bool valid_topology(const std::string& name);
+
+}  // namespace nomc::net

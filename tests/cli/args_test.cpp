@@ -46,7 +46,7 @@ TEST(Args, EqualsSeparatedValues) {
 
 TEST(Args, NegativeNumbers) {
   ArgParser args;
-  args.add_double("cca", -77.0, "threshold");
+  args.add_double("cca", -42.0, "threshold");
   EXPECT_TRUE(parse(args, {"--cca", "-55.5"}));
   EXPECT_DOUBLE_EQ(args.get_double("cca"), -55.5);
 }

@@ -48,10 +48,10 @@ class AdjustorTest : public ::testing::Test {
 TEST_F(AdjustorTest, ConservativeBeforeStart) {
   CcaAdjustor adjustor{scheduler_, *radio_};
   EXPECT_EQ(adjustor.phase(), CcaAdjustor::Phase::kNotStarted);
-  EXPECT_EQ(adjustor.threshold().value, -77.0);
+  EXPECT_EQ(adjustor.threshold().value, mac::kZigbeeDefaultCcaThreshold.value);
   // Records before start are ignored.
   adjustor.on_co_channel_packet(phy::Dbm{-30.0});
-  EXPECT_EQ(adjustor.threshold().value, -77.0);
+  EXPECT_EQ(adjustor.threshold().value, mac::kZigbeeDefaultCcaThreshold.value);
   EXPECT_EQ(adjustor.update_records(), 0u);
 }
 
@@ -62,7 +62,7 @@ TEST_F(AdjustorTest, ConservativeDuringInitPhase) {
   adjustor.on_co_channel_packet(phy::Dbm{-30.0});
   scheduler_.run_until(sim::SimTime::milliseconds(500));
   // Still inside T_I = 1 s: the ZigBee default holds.
-  EXPECT_EQ(adjustor.threshold().value, -77.0);
+  EXPECT_EQ(adjustor.threshold().value, mac::kZigbeeDefaultCcaThreshold.value);
 }
 
 TEST_F(AdjustorTest, Equation2PacketRssiWins) {
@@ -101,7 +101,7 @@ TEST_F(AdjustorTest, NoPacketsFallsBackToSensedPower) {
   adjustor.start();
   // Quiet channel: max sensed = noise floor (-95); clamped to min_threshold.
   scheduler_.run_until(sim::SimTime::seconds(1.5));
-  EXPECT_EQ(adjustor.threshold().value, -91.0);
+  EXPECT_EQ(adjustor.threshold().value, DcnConfig{}.min_threshold.value);
   EXPECT_FALSE(adjustor.init_min_packet_rssi().has_value());
 }
 

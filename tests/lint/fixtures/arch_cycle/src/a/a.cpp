@@ -1,0 +1,2 @@
+// Fixture: a -> b; together with b -> a this closes a module cycle.
+#include "b/b.hpp"

@@ -1,0 +1,2 @@
+// Fixture: the cycle's anchor edge carries a justified suppression.
+#include "b/b.hpp"  // nomc-lint: allow(arch-cycle)

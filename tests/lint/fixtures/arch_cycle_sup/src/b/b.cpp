@@ -1,0 +1,2 @@
+// Fixture: b -> a.
+#include "a/a.hpp"

@@ -1,0 +1,1 @@
+// Fixture: module a, present in the spec.

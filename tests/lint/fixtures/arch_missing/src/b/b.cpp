@@ -1,0 +1,1 @@
+// Fixture: module b, deliberately missing from the spec.

@@ -1,0 +1,1 @@
+// Fixture: module b, missing from the spec but waived there.

@@ -1,0 +1,2 @@
+// Fixture: module a includes module b — an edge the spec allows.
+#include "b/y.hpp"

@@ -1,0 +1,1 @@
+// Fixture: base module, no cross-module includes.

@@ -1,0 +1,2 @@
+// Fixture: the same illegal edge, suppressed at the directive.
+#include "a/x.hpp"  // nomc-lint: allow(arch-layer-violation)

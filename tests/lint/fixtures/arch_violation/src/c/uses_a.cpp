@@ -1,0 +1,2 @@
+// Fixture: module c includes module a — the spec allows c nothing.
+#include "a/x.hpp"

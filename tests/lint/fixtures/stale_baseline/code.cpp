@@ -1,0 +1,6 @@
+// Fixture for lint-stale-baseline: exactly one finding, so a baseline with
+// extra entries has stale ones. lint_tests writes the baseline file itself
+// (entries key on the scanned path, which is machine-dependent).
+#include <cstdlib>
+
+int noise() { return std::rand(); }

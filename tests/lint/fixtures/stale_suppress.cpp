@@ -1,0 +1,19 @@
+// Fixture for lint-stale-suppress: a live directive, a dead one, one
+// naming an unknown rule, and a justified dead one. Line numbers are
+// asserted by lint_tests — edit with care.
+#include <cstdlib>
+
+int live() {
+  return std::rand();  // nomc-lint: allow(det-rand) — live, suppresses this line
+}
+
+// nomc-lint: allow(det-rand)
+int stale() { return 4; }
+
+// nomc-lint: allow(not-a-rule)
+int unknown() { return 5; }
+
+// Deliberate example of a justified dead directive:
+// nomc-lint: allow(lint-stale-suppress)
+// nomc-lint: allow(det-time-seed)
+int justified() { return 6; }

@@ -1,0 +1,35 @@
+# ctest guard for nomc-lint's parallel determinism contract: a full repo
+# scan must be byte-identical — stdout and exit code — at --jobs 1, 2, and 7.
+# Run with:
+#   cmake -DTOOL=<nomc-lint> -DREPO_ROOT=<repo> -P jobs_identical.cmake
+if(NOT DEFINED TOOL OR NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "jobs_identical.cmake needs -DTOOL=... and -DREPO_ROOT=...")
+endif()
+
+set(reference_output "")
+set(reference_code "")
+foreach(jobs 1 2 7)
+  execute_process(
+    COMMAND ${TOOL} --jobs ${jobs} --verbose
+    WORKING_DIRECTORY ${REPO_ROOT}
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE stderr_text
+    RESULT_VARIABLE code)
+  if(code EQUAL 2)
+    message(FATAL_ERROR "nomc-lint --jobs ${jobs} failed to run:\n${stderr_text}")
+  endif()
+  if(jobs EQUAL 1)
+    set(reference_output "${output}")
+    set(reference_code "${code}")
+  else()
+    if(NOT output STREQUAL reference_output)
+      message(FATAL_ERROR "nomc-lint output differs between --jobs 1 and --jobs ${jobs}:\n"
+                          "--jobs 1 ->\n${reference_output}\n--jobs ${jobs} ->\n${output}")
+    endif()
+    if(NOT code EQUAL reference_code)
+      message(FATAL_ERROR "nomc-lint exit code differs: --jobs 1 -> ${reference_code}, "
+                          "--jobs ${jobs} -> ${code}")
+    endif()
+  endif()
+endforeach()
+message(STATUS "nomc-lint byte-identical at --jobs 1/2/7 (exit ${reference_code})")

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "lint/driver.hpp"
@@ -453,8 +456,240 @@ TEST(LintRules, GoldenRegenNoteMustBeInHeaderComment) {
 TEST(LintRules, CatalogKnowsEveryEmittedRule) {
   EXPECT_TRUE(known_rule("det-rand"));
   EXPECT_TRUE(known_rule("golden-regen-note"));
+  EXPECT_TRUE(known_rule("arch-layer-violation"));
+  EXPECT_TRUE(known_rule("lint-stale-suppress"));
   EXPECT_FALSE(known_rule("not-a-rule"));
   EXPECT_GE(rule_catalog().size(), 10u);
+}
+
+// ---- Include graph -------------------------------------------------------
+
+TEST(LintGraph, ModuleOfMapsDirectoriesToModules) {
+  EXPECT_EQ(module_of("src/phy/medium.cpp"), "phy");
+  EXPECT_EQ(module_of("src/lint/graph.hpp"), "lint");
+  EXPECT_EQ(module_of("tools/nomc_lint.cpp"), "tools");
+  EXPECT_EQ(module_of("tests/svc/service_test.cpp"), "tests");
+  EXPECT_EQ(module_of("lonely.cpp"), "");
+  EXPECT_EQ(module_of("/tmp/fx/src/a/x.cpp", "/tmp/fx"), "a");
+  EXPECT_EQ(module_of("/tmp/fx/src/a/x.cpp", "/tmp/fx/"), "a");
+}
+
+TEST(LintGraph, CollectsOnlyModuleCrossingQuotedIncludes) {
+  const SourceFile file = scan_source(
+      "src/mac/csma.cpp",
+      "#include \"mac/csma.hpp\"\n#include <vector>\n#include \"phy/radio.hpp\"\n"
+      "#include \"local.hpp\"\n");
+  std::vector<IncludeEdge> edges;
+  collect_include_edges(file, /*root=*/{}, edges);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, "mac");
+  EXPECT_EQ(edges[0].to, "phy");
+  EXPECT_EQ(edges[0].line, 3);
+  EXPECT_EQ(edges[0].line_text, "#include \"phy/radio.hpp\"");
+}
+
+TEST(LintGraph, LayerSpecGrammar) {
+  LayerSpec spec;
+  std::string error;
+  ASSERT_TRUE(spec.parse("layers.txt",
+                         "# comment\n"
+                         "sim:\n"
+                         "phy: sim   # trailing comment\n"
+                         "tools: *\n",
+                         error))
+      << error;
+  EXPECT_EQ(spec.size(), 3u);
+  EXPECT_TRUE(spec.has("phy"));
+  EXPECT_FALSE(spec.has("mac"));
+  EXPECT_TRUE(spec.allows("phy", "sim"));
+  EXPECT_TRUE(spec.allows("phy", "phy"));  // self-edges always legal
+  EXPECT_FALSE(spec.allows("phy", "tools"));
+  EXPECT_FALSE(spec.allows("sim", "phy"));
+  EXPECT_TRUE(spec.allows("tools", "phy"));  // wildcard
+  EXPECT_EQ(spec.allowed_list("sim"), "(none)");
+  EXPECT_EQ(spec.allowed_list("mac"), "(module not in spec)");
+  EXPECT_FALSE(spec.allows_missing());
+
+  LayerSpec bad;
+  EXPECT_FALSE(bad.parse("layers.txt", "just words\n", error));
+  EXPECT_FALSE(bad.parse("layers.txt", "a:\na:\n", error));  // duplicate
+  EXPECT_FALSE(bad.parse("layers.txt", "a!: b\n", error));   // bad name
+}
+
+// ---- Whole-program passes over fixture trees -----------------------------
+
+/// (rule, path suffix, line) triples of findings in one suppression state.
+std::vector<std::tuple<std::string, std::string, int>> where(
+    const std::vector<Finding>& findings, bool suppressed) {
+  std::vector<std::tuple<std::string, std::string, int>> out;
+  for (const Finding& finding : findings) {
+    if (finding.suppressed != suppressed) continue;
+    const std::string& path = finding.diagnostic.path;
+    const std::size_t slash = path.find_last_of('/');
+    out.emplace_back(finding.diagnostic.rule_id,
+                     slash == std::string::npos ? path : path.substr(slash + 1),
+                     finding.diagnostic.line);
+  }
+  return out;
+}
+
+RunResult run_fixture_tree(const std::string& name) {
+  RunOptions options;
+  options.roots = {fixture_path(name)};
+  options.root_prefix = fixture_path(name);
+  options.layers_path = fixture_path(name + "/layers.txt");
+  RunResult result;
+  std::string error;
+  EXPECT_TRUE(run_lint(options, result, error)) << error;
+  return result;
+}
+
+TEST(LintGraph, ArchLayerViolationFiresCompliesAndSuppresses) {
+  const RunResult result = run_fixture_tree("arch_violation");
+  EXPECT_EQ(result.file_count, 4u);
+  using T = std::tuple<std::string, std::string, int>;
+  // The a -> b edge is allowed and produces nothing; c -> a fires once.
+  EXPECT_EQ(where(result.findings, false),
+            (std::vector<T>{{"arch-layer-violation", "uses_a.cpp", 2}}));
+  EXPECT_EQ(where(result.findings, true),
+            (std::vector<T>{{"arch-layer-violation", "sup.cpp", 2}}));
+  for (const Finding& finding : result.findings) {
+    if (finding.suppressed) continue;
+    EXPECT_NE(finding.diagnostic.message.find("'c' may not include module 'a'"),
+              std::string::npos)
+        << finding.diagnostic.message;
+  }
+}
+
+TEST(LintGraph, ArchCycleFiresWithFullPathAndSuppresses) {
+  const RunResult firing = run_fixture_tree("arch_cycle");
+  using T = std::tuple<std::string, std::string, int>;
+  EXPECT_EQ(where(firing.findings, false), (std::vector<T>{{"arch-cycle", "a.cpp", 2}}));
+  ASSERT_FALSE(firing.findings.empty());
+  EXPECT_NE(firing.findings[0].diagnostic.message.find("a -> b -> a"), std::string::npos)
+      << firing.findings[0].diagnostic.message;
+
+  const RunResult muted = run_fixture_tree("arch_cycle_sup");
+  EXPECT_TRUE(where(muted.findings, false).empty());
+  EXPECT_EQ(where(muted.findings, true), (std::vector<T>{{"arch-cycle", "a.cpp", 2}}));
+}
+
+TEST(LintGraph, ArchMissingSpecFiresAndIsWaivableInSpec) {
+  const RunResult firing = run_fixture_tree("arch_missing");
+  using T = std::tuple<std::string, std::string, int>;
+  EXPECT_EQ(where(firing.findings, false),
+            (std::vector<T>{{"arch-missing-spec", "layers.txt", 1}}));
+  ASSERT_FALSE(firing.findings.empty());
+  EXPECT_NE(firing.findings[0].diagnostic.message.find("module 'b'"), std::string::npos);
+
+  const RunResult waived = run_fixture_tree("arch_missing_sup");
+  EXPECT_TRUE(where(waived.findings, false).empty());
+  EXPECT_EQ(where(waived.findings, true),
+            (std::vector<T>{{"arch-missing-spec", "layers.txt", 1}}));
+}
+
+// ---- Stale suppressions and stale baseline -------------------------------
+
+TEST(LintStale, StaleSuppressFixture) {
+  RunOptions options;
+  options.roots = {fixture_path("stale_suppress.cpp")};
+  RunResult result;
+  std::string error;
+  ASSERT_TRUE(run_lint(options, result, error)) << error;
+
+  const auto active = fired(result.findings, /*suppressed=*/false);
+  const std::vector<std::pair<std::string, int>> expected = {
+      {"lint-stale-suppress", 10},  // dead allow(det-rand)
+      {"lint-stale-suppress", 13},  // unknown rule
+  };
+  EXPECT_EQ(active, expected);
+
+  const auto muted = fired(result.findings, /*suppressed=*/true);
+  const std::vector<std::pair<std::string, int>> expected_muted = {
+      {"det-rand", 7},              // the live suppression at work
+      {"lint-stale-suppress", 18},  // justified via allow(lint-stale-suppress)
+  };
+  EXPECT_EQ(muted, expected_muted);
+
+  // Dead-but-known and unknown-rule directives get distinct messages.
+  for (const Finding& finding : result.findings) {
+    if (finding.suppressed) continue;
+    if (finding.diagnostic.line == 10) {
+      EXPECT_NE(finding.diagnostic.message.find("matches no finding"), std::string::npos);
+    }
+    if (finding.diagnostic.line == 13) {
+      EXPECT_NE(finding.diagnostic.message.find("unknown rule 'not-a-rule'"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(LintStale, StaleBaselineFixture) {
+  const std::string code = fixture_path("stale_baseline/code.cpp");
+  const std::string line_text = "int noise() { return std::rand(); }";
+  const std::string baseline_path = ::testing::TempDir() + "nomc_lint_stale.baseline";
+  {
+    const std::string content = "# fixture baseline\n" + code + "|det-rand|" + line_text +
+                                "\n" + code + "|det-rand|int gone() { return std::rand(); }\n" +
+                                "# nomc-lint: allow(lint-stale-baseline)\n" + code +
+                                "|det-rand|int also_gone() { return std::rand(); }\n";
+    std::FILE* out = std::fopen(baseline_path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(content.data(), 1, content.size(), out);
+    std::fclose(out);
+  }
+
+  RunOptions options;
+  options.roots = {code};
+  options.baseline_path = baseline_path;
+  RunResult result;
+  std::string error;
+  ASSERT_TRUE(run_lint(options, result, error)) << error;
+  std::remove(baseline_path.c_str());
+
+  std::vector<std::pair<std::string, int>> active;
+  for (const Finding& finding : result.findings) {
+    if (!finding.suppressed && !finding.baselined) {
+      active.emplace_back(finding.diagnostic.rule_id, finding.diagnostic.line);
+    }
+  }
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], (std::pair<std::string, int>{"lint-stale-baseline", 3}));
+  const auto muted = fired(result.findings, /*suppressed=*/true);
+  ASSERT_EQ(muted.size(), 1u);  // the justified leftover on line 5
+  EXPECT_EQ(muted[0], (std::pair<std::string, int>{"lint-stale-baseline", 5}));
+  int baselined = 0;
+  for (const Finding& finding : result.findings) {
+    if (finding.baselined) {
+      ++baselined;
+      EXPECT_EQ(finding.diagnostic.rule_id, "det-rand");
+    }
+  }
+  EXPECT_EQ(baselined, 1);
+}
+
+// ---- Parallel determinism ------------------------------------------------
+
+TEST(LintParallel, RunLintIsByteIdenticalAtAnyJobCount) {
+  auto render = [](int jobs) {
+    RunOptions options;
+    options.roots = {std::string{NOMC_LINT_FIXTURE_DIR}};
+    options.jobs = jobs;
+    RunResult result;
+    std::string error;
+    EXPECT_TRUE(run_lint(options, result, error)) << error;
+    std::string out;
+    for (const Finding& finding : result.findings) {
+      out += format_diagnostic(finding);
+      out += finding.suppressed ? " S" : finding.baselined ? " B" : " F";
+      out += '\n';
+    }
+    return std::make_pair(result.file_count, out);
+  };
+  const auto serial = render(1);
+  EXPECT_FALSE(serial.second.empty());  // fixtures fire by construction
+  EXPECT_EQ(render(2), serial);
+  EXPECT_EQ(render(7), serial);
 }
 
 }  // namespace

@@ -123,7 +123,7 @@ TEST_F(CsmaTest, DynamicThresholdTakesEffectImmediately) {
   EXPECT_EQ(sender->counters().sent, 0u);
 
   // DCN's seam: raise the threshold mid-run; the MAC re-reads it per CCA.
-  cca.set(phy::Dbm{-77.0});
+  cca.set(kZigbeeDefaultCcaThreshold);
   scheduler_.run_until(sim::SimTime::milliseconds(400));
   EXPECT_GT(sender->counters().sent, 10u);
   EXPECT_GT(receiver->counters().received, 10u);

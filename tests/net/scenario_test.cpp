@@ -30,7 +30,7 @@ TEST(Scenario, BuildAccessors) {
   EXPECT_EQ(scenario.network_channel(n1).value, 2463.0);
   EXPECT_EQ(scenario.adjustor(n0, 0), nullptr);        // fixed network
   EXPECT_NE(scenario.adjustor(n1, 0), nullptr);        // DCN network
-  EXPECT_EQ(scenario.fixed_cca(n0, 0).threshold().value, -77.0);
+  EXPECT_EQ(scenario.fixed_cca(n0, 0).threshold().value, mac::kZigbeeDefaultCcaThreshold.value);
   EXPECT_EQ(scenario.sender_radio(n0, 0).channel().value, 2460.0);
   EXPECT_EQ(scenario.medium().node_count(), 4u);
 }

@@ -86,6 +86,9 @@ TEST(ExportStream, SlowReaderSeesBoundedOutboxAndExactBytes) {
   std::atomic<bool> reader_ok{false};
   std::string received;
   std::string reader_error;
+  // A raw thread on purpose: it models an external client process pacing
+  // its reads, outside the simulator's deterministic runners.
+  // nomc-lint: allow(det-raw-thread)
   std::thread reader([&] {
     Client client;
     std::string thread_error;

@@ -7,6 +7,9 @@
 //       `nomc-campaign run` store of the same spec,
 //   (c) a query served through the .idx sidecar returns the same record as
 //       a linear scan of the store.
+//
+// nomc-lint: allow-file(svc-raw-fork) — spawning the real binaries IS the
+// test; svc::WorkerPool is part of the system under test, not usable here.
 #include <gtest/gtest.h>
 
 #include <csignal>

@@ -93,6 +93,9 @@ TEST(ServiceFuzz, ServerKillMidCampaignResumesByteIdentical) {
 
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     SCOPED_TRACE("fuzz seed " + std::to_string(seed));
+    // Fixed-seed generator for fuzz *inputs* (kill points, frame splits),
+    // not simulation randomness — replays stay reproducible.
+    // nomc-lint: allow(det-rand)
     std::mt19937_64 rng{seed};
     const std::string dir =
         ::testing::TempDir() + "nomc_sfz_" + std::to_string(::getpid()) + "_" +

@@ -1,0 +1,55 @@
+# ctest guard keeping the linter and its documentation honest, in both
+# directions: every rule id in `nomc-lint --list-rules` must appear as a
+# rule-table row in docs/static_analysis.md, and every rule-table row must
+# name a rule the catalog actually emits. Run with:
+#   cmake -DTOOL=<nomc-lint> -DREPO_ROOT=<repo> -P check_lint_docs.cmake
+cmake_minimum_required(VERSION 3.16)
+if(NOT DEFINED TOOL OR NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "check_lint_docs.cmake needs -DTOOL=... and -DREPO_ROOT=...")
+endif()
+
+execute_process(
+  COMMAND ${TOOL} --list-rules
+  OUTPUT_VARIABLE listing
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "nomc-lint --list-rules failed (exit ${code})")
+endif()
+
+set(catalog_rules "")
+string(REPLACE "\n" ";" listing_lines "${listing}")
+foreach(line IN LISTS listing_lines)
+  if(line MATCHES "^([a-z0-9-]+) ")
+    list(APPEND catalog_rules "${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+list(LENGTH catalog_rules catalog_count)
+if(catalog_count EQUAL 0)
+  message(FATAL_ERROR "parsed no rule ids from --list-rules output:\n${listing}")
+endif()
+
+set(doc_path "${REPO_ROOT}/docs/static_analysis.md")
+file(READ ${doc_path} doc)
+# Rule-table rows look like:  | `rule-id` | description |
+set(doc_rules "")
+string(REPLACE "\n" ";" doc_lines "${doc}")
+foreach(line IN LISTS doc_lines)
+  if(line MATCHES "^\\| *`([a-z0-9-]+)` *\\|")
+    list(APPEND doc_rules "${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+
+foreach(rule IN LISTS catalog_rules)
+  if(NOT rule IN_LIST doc_rules)
+    message(FATAL_ERROR "rule '${rule}' is in the catalog but has no rule-table row in "
+                        "${doc_path} — document it")
+  endif()
+endforeach()
+foreach(rule IN LISTS doc_rules)
+  if(NOT rule IN_LIST catalog_rules)
+    message(FATAL_ERROR "rule '${rule}' has a rule-table row in ${doc_path} but is not in "
+                        "the catalog — delete the row or restore the rule")
+  endif()
+endforeach()
+list(LENGTH doc_rules doc_count)
+message(STATUS "lint docs in sync: ${catalog_count} catalog rules, ${doc_count} table rows")
